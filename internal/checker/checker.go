@@ -1,0 +1,239 @@
+// Package checker implements the paper's first tool (§4.1): an online
+// sanity checker that periodically verifies the work-conserving invariant
+// — "no core remains idle while another core is overloaded" (Algorithm 2)
+// — while tolerating the short-term violations that are a normal part of
+// scheduling.
+//
+// The checker fires every S (default 1s of virtual time). When it finds an
+// idle core alongside a core with waiting threads that could legally be
+// stolen (can_steal respects tasksets), it does not flag immediately:
+// it monitors the system for M (default 100ms, chosen because "the load
+// balancer runs every 4ms, but ... multiple load balancing attempts might
+// be needed to recover"), tracking thread migrations, creations and
+// destructions. Only when the violation persists through the whole window
+// is a bug flagged, at which point profiling (the trace recorder) is
+// switched on for a short window, mirroring the paper's use of systemtap
+// for 20ms after detection.
+package checker
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/viz"
+)
+
+// Config tunes the checker. Zero fields take the paper's defaults.
+type Config struct {
+	// S is the invariant check interval (paper: 1s).
+	S sim.Time
+	// M is the monitoring window after a candidate violation (paper:
+	// 100ms, "to virtually eliminate the probability of false
+	// positives").
+	M sim.Time
+	// Samples is the number of invariant re-checks spread across M; the
+	// violation must hold at every sample to be flagged.
+	Samples int
+	// ProfileWindow is how long profiling stays enabled after a flag
+	// (paper: 20ms of systemtap).
+	ProfileWindow sim.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.S == 0 {
+		c.S = sim.Second
+	}
+	if c.M == 0 {
+		c.M = 100 * sim.Millisecond
+	}
+	if c.Samples == 0 {
+		c.Samples = 4
+	}
+	if c.ProfileWindow == 0 {
+		c.ProfileWindow = 20 * sim.Millisecond
+	}
+	return c
+}
+
+// Violation is a confirmed long-term invariant violation — a bug report.
+type Violation struct {
+	// DetectedAt is when the candidate violation was first seen;
+	// ConfirmedAt is when the monitoring window ended with the violation
+	// still present.
+	DetectedAt  sim.Time
+	ConfirmedAt sim.Time
+	// IdleCPU / OverloadedCPU witness the violation at confirmation.
+	IdleCPU       topology.CoreID
+	OverloadedCPU topology.CoreID
+	// NrRunning snapshots every core's runqueue occupancy at
+	// confirmation.
+	NrRunning []int
+	// MigrationsDuring counts thread migrations observed during the
+	// monitoring window (the "thread operations" Algorithm 2 tracks:
+	// these are the events that could have fixed the violation).
+	MigrationsDuring uint64
+	// ForksDuring / ExitsDuring likewise.
+	ForksDuring uint64
+	ExitsDuring uint64
+}
+
+// String renders a one-line bug report.
+func (v Violation) String() string {
+	return fmt.Sprintf("invariant violated from %v to %v: cpu %d idle while cpu %d overloaded (migrations during window: %d)",
+		v.DetectedAt, v.ConfirmedAt, v.IdleCPU, v.OverloadedCPU, v.MigrationsDuring)
+}
+
+// Checker watches a scheduler for work-conservation violations.
+type Checker struct {
+	s   *sched.Scheduler
+	eng *sim.Engine
+	cfg Config
+	rec *trace.Recorder
+
+	checks     uint64
+	candidates uint64
+	transients uint64
+	violations []Violation
+	monitoring bool
+	stopped    bool
+}
+
+// New creates a checker over s. rec may be nil; when present it is
+// activated for ProfileWindow after each confirmed violation.
+func New(s *sched.Scheduler, rec *trace.Recorder, cfg Config) *Checker {
+	return &Checker{s: s, eng: s.Engine(), cfg: cfg.withDefaults(), rec: rec}
+}
+
+// Start begins periodic checking.
+func (c *Checker) Start() {
+	c.eng.After(c.cfg.S, c.periodic)
+}
+
+// Stop halts future checks.
+func (c *Checker) Stop() { c.stopped = true }
+
+// Checks reports how many invariant evaluations have run.
+func (c *Checker) Checks() uint64 { return c.checks }
+
+// Candidates reports how many checks found a candidate violation.
+func (c *Checker) Candidates() uint64 { return c.candidates }
+
+// Transients reports candidates that resolved within the monitoring
+// window (legal short-term violations).
+func (c *Checker) Transients() uint64 { return c.transients }
+
+// Violations returns the confirmed bug reports.
+func (c *Checker) Violations() []Violation { return c.violations }
+
+func (c *Checker) periodic() {
+	if c.stopped {
+		return
+	}
+	c.checks++
+	if !c.monitoring {
+		if idle, busy, found := c.findViolation(); found {
+			c.candidates++
+			c.beginMonitoring(idle, busy)
+		}
+	}
+	c.eng.After(c.cfg.S, c.periodic)
+}
+
+// findViolation implements Algorithm 2: an idle CPU1 plus a CPU2 with
+// nr_running >= 2 from which CPU1 could steal.
+func (c *Checker) findViolation() (idle, busy topology.CoreID, found bool) {
+	online := c.s.OnlineCPUs()
+	for _, cpu1 := range online {
+		if c.s.NrRunning(cpu1) >= 1 {
+			continue // CPU1 is not idle
+		}
+		for _, cpu2 := range online {
+			if cpu2 == cpu1 {
+				continue
+			}
+			if c.s.NrRunning(cpu2) >= 2 && c.s.CanSteal(cpu1, cpu2) {
+				return cpu1, cpu2, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// beginMonitoring samples the invariant across the window M; the
+// violation is flagged only if every sample still shows it ("check for
+// conditions that are acceptable for a short period of time, but
+// unacceptable if they persist").
+func (c *Checker) beginMonitoring(idle, busy topology.CoreID) {
+	c.monitoring = true
+	detectedAt := c.eng.Now()
+	startCounters := c.s.Counters()
+	step := c.cfg.M / sim.Time(c.cfg.Samples)
+	var sample func(n int)
+	sample = func(n int) {
+		i, b, found := c.findViolation()
+		if !found {
+			c.transients++
+			c.monitoring = false
+			return
+		}
+		if n >= c.cfg.Samples {
+			c.flag(detectedAt, i, b, startCounters)
+			c.monitoring = false
+			return
+		}
+		c.eng.After(step, func() { sample(n + 1) })
+	}
+	c.eng.After(step, func() { sample(1) })
+}
+
+func (c *Checker) flag(detectedAt sim.Time, idle, busy topology.CoreID, start sched.Counters) {
+	nowCounters := c.s.Counters()
+	v := Violation{
+		DetectedAt:       detectedAt,
+		ConfirmedAt:      c.eng.Now(),
+		IdleCPU:          idle,
+		OverloadedCPU:    busy,
+		MigrationsDuring: nowCounters.Migrations - start.Migrations,
+		ForksDuring:      nowCounters.Forks - start.Forks,
+	}
+	for _, cpu := range c.s.OnlineCPUs() {
+		v.NrRunning = append(v.NrRunning, c.s.NrRunning(cpu))
+	}
+	c.violations = append(c.violations, v)
+	// Begin profiling, as the paper does with systemtap for 20ms.
+	if c.rec != nil && !c.rec.Active() {
+		c.rec.Start()
+		c.s.EmitSnapshot()
+		c.eng.After(c.cfg.ProfileWindow, c.rec.Stop)
+	}
+}
+
+// WriteReport emits the offline bug report (§4.1: "the sanity checker
+// begins gathering profiling information to include in the bug report"):
+// the confirmed violations, runqueue snapshots, and — when a recorder was
+// attached — the balance-decision profile with an automatic Group
+// Imbalance diagnosis.
+func (c *Checker) WriteReport(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "sanity checker report: %d checks, %d candidates, %d transients, %d confirmed violations\n",
+		c.checks, c.candidates, c.transients, len(c.violations)); err != nil {
+		return err
+	}
+	for i, v := range c.violations {
+		fmt.Fprintf(w, "\nviolation %d: %s\n", i+1, v)
+		fmt.Fprintf(w, "  runqueue sizes at confirmation: %v\n", v.NrRunning)
+		fmt.Fprintf(w, "  thread ops during monitoring: %d migrations, %d forks\n",
+			v.MigrationsDuring, v.ForksDuring)
+	}
+	if c.rec != nil && c.rec.Len() > 0 {
+		fmt.Fprintf(w, "\nload-balancing profile (§4.1):\n")
+		fmt.Fprint(w, viz.SummarizeBalance(c.rec.Events(), -1))
+		if msg, found := viz.DiagnoseGroupImbalance(c.rec.Events()); found {
+			fmt.Fprintln(w, msg)
+		}
+	}
+	return nil
+}

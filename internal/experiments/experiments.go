@@ -1,0 +1,35 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment builds fresh machines (one per
+// configuration), runs the corresponding workload, and returns structured
+// results plus a paper-style formatted table. The benchmark harness
+// (bench_test.go) and the wastedcores CLI are thin wrappers over this
+// package.
+package experiments
+
+import (
+	"repro/internal/sim"
+)
+
+// Options tunes experiment runs.
+type Options struct {
+	// Seed drives all randomized workload synthesis.
+	Seed int64
+	// Scale shrinks workloads for fast runs (1.0 = paper-scale
+	// simulation, tests and benches use less).
+	Scale float64
+	// Horizon bounds each individual run in virtual time.
+	Horizon sim.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 200 * sim.Second
+	}
+	return o
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Table1Row is one application's result for the Scheduling Group
+// Construction experiment (paper Table 1): execution time with the bug,
+// without it, and the speedup factor.
+type Table1Row struct {
+	App     string
+	WithBug sim.Time
+	Fixed   sim.Time
+	Speedup float64
+	// Complete is false when a run hit the horizon.
+	Complete bool
+}
+
+// Table1 reproduces the paper's Table 1: every NAS application launched
+// with "numactl --cpunodebind=1,2" and as many threads as cores on those
+// two nodes (16). Nodes 1 and 2 are two hops apart on the Bulldozer
+// machine, so with the Scheduling Group Construction bug all threads stay
+// on node 1; with the fix they spread over both nodes.
+func Table1(opts Options) []Table1Row {
+	opts = opts.withDefaults()
+	var rows []Table1Row
+	for _, app := range workload.NASSuite() {
+		buggy, okB := runTable1App(app, opts, false)
+		fixed, okF := runTable1App(app, opts, true)
+		rows = append(rows, Table1Row{
+			App:      app.Name,
+			WithBug:  buggy,
+			Fixed:    fixed,
+			Speedup:  stats.Speedup(buggy.Seconds(), fixed.Seconds()),
+			Complete: okB && okF,
+		})
+	}
+	return rows
+}
+
+// runTable1App runs one NAS app pinned to nodes 1 and 2 under the vanilla
+// kernel (all bugs) or with the Scheduling Group Construction fix.
+func runTable1App(app workload.NASApp, opts Options, fix bool) (sim.Time, bool) {
+	topo := topology.Bulldozer8()
+	cfg := sched.DefaultConfig() // all bugs present: the studied kernel
+	cfg.Features.FixGroupConstruction = fix
+	m := machine.New(topo, cfg, opts.Seed)
+	aff := workload.NodeSet(topo, 1, 2)
+	// Threads are created on node 1 ("threads are created on the same
+	// node as their parent thread", §3.2).
+	p := app.Launch(m, workload.NASLaunchOpts{
+		Threads:   16,
+		Affinity:  aff,
+		SpawnCore: topo.CoresOfNode(1)[0],
+		Seed:      opts.Seed,
+		Scale:     opts.Scale,
+	})
+	return m.RunUntilDone(opts.Horizon, p)
+}
+
+// FormatTable1 renders rows in the paper's Table 1 layout.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1: NAS execution time with/without the Scheduling Group Construction bug\n")
+	b.WriteString("(16 threads, numactl --cpunodebind=1,2)\n\n")
+	fmt.Fprintf(&b, "%-12s %14s %14s %10s\n", "Application", "Time w/ bug", "Time w/o bug", "Speedup")
+	for _, r := range rows {
+		note := ""
+		if !r.Complete {
+			note = " (timeout)"
+		}
+		fmt.Fprintf(&b, "%-12s %14s %14s %9.2fx%s\n",
+			r.App, fmtTime(r.WithBug), fmtTime(r.Fixed), r.Speedup, note)
+	}
+	return b.String()
+}
+
+func fmtTime(t sim.Time) string {
+	return stats.FormatSeconds(t.Seconds())
+}

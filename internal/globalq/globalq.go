@@ -1,0 +1,248 @@
+// Package globalq implements the strawman scheduler the paper's §2.2
+// argues against — a single globally shared runqueue — next to its
+// per-core counterpart, isolating the one variable that motivated CFS's
+// design: synchronization cost on the context-switch path.
+//
+//	"Scalability concerns dictate using per-core runqueues. ... Context
+//	switches are on a critical path, so they must be fast. Accessing
+//	only a core-local queue prevents the scheduler from making
+//	potentially expensive synchronized accesses, which would be required
+//	if it accessed a globally shared runqueue." (§2.2)
+//
+// This is a queueing model, not a full CFS: threads are round-robin
+// compute units, and every queue operation pays a synchronization cost
+// that, for the shared design, grows with the number of cores contending
+// on the queue's lock and cache lines. The model quantifies the trade the
+// paper describes: the shared queue is trivially work-conserving (none of
+// the four bugs can exist — there is nothing to balance), but it taxes
+// every context switch on every core.
+package globalq
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Design selects the runqueue organization.
+type Design int
+
+// Designs.
+const (
+	// SharedQueue: one global runqueue; every core's switch contends.
+	SharedQueue Design = iota
+	// PerCoreQueue: one runqueue per core (no balancing needed in this
+	// model: work is pre-distributed round-robin, the best case the
+	// load balancer strives for).
+	PerCoreQueue
+)
+
+// String names the design.
+func (d Design) String() string {
+	if d == SharedQueue {
+		return "shared-queue"
+	}
+	return "per-core-queue"
+}
+
+// Config tunes the model.
+type Config struct {
+	// Cores is the machine size.
+	Cores int
+	// Quantum is the round-robin timeslice.
+	Quantum sim.Time
+	// SwitchBase is the uncontended cost of a context switch (queue
+	// lock + dequeue + state swap).
+	SwitchBase sim.Time
+	// ContentionFactor is the extra per-contender cost on the shared
+	// queue: each switch costs SwitchBase x (1 + factor x (cores-1)),
+	// modelling lock handoff and cache-line bouncing that grow with the
+	// number of cores hammering one queue.
+	ContentionFactor float64
+}
+
+// DefaultConfig mirrors kernel-scale constants: ~1µs uncontended switch
+// overhead, 6ms quanta.
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores:            cores,
+		Quantum:          6 * sim.Millisecond,
+		SwitchBase:       sim.Microsecond,
+		ContentionFactor: 0.35,
+	}
+}
+
+// task is a compute-only thread.
+type task struct {
+	remaining sim.Time
+}
+
+// Scheduler is the model instance.
+type Scheduler struct {
+	eng    *sim.Engine
+	cfg    Config
+	design Design
+
+	shared   []*task   // SharedQueue backlog
+	perCore  [][]*task // PerCoreQueue backlogs
+	running  int       // busy cores
+	useful   sim.Time  // CPU time spent computing
+	overhead sim.Time  // CPU time spent switching
+	switches uint64
+	done     int
+	total    int
+}
+
+// New builds a model scheduler over a fresh engine.
+func New(cfg Config, design Design, seed int64) *Scheduler {
+	if cfg.Cores < 1 {
+		panic("globalq: need at least one core")
+	}
+	s := &Scheduler{
+		eng:    sim.New(seed),
+		cfg:    cfg,
+		design: design,
+	}
+	if design == PerCoreQueue {
+		s.perCore = make([][]*task, cfg.Cores)
+	}
+	return s
+}
+
+// Load populates n tasks of the given work each, pre-distributed
+// round-robin for the per-core design.
+func (s *Scheduler) Load(n int, work sim.Time) {
+	s.total += n
+	for i := 0; i < n; i++ {
+		t := &task{remaining: work}
+		if s.design == SharedQueue {
+			s.shared = append(s.shared, t)
+		} else {
+			c := i % s.cfg.Cores
+			s.perCore[c] = append(s.perCore[c], t)
+		}
+	}
+}
+
+// switchCost returns the context-switch overhead for one core's pick.
+func (s *Scheduler) switchCost() sim.Time {
+	if s.design == PerCoreQueue {
+		return s.cfg.SwitchBase
+	}
+	extra := s.cfg.ContentionFactor * float64(s.cfg.Cores-1)
+	return sim.Time(float64(s.cfg.SwitchBase) * (1 + extra))
+}
+
+// pop takes the next task for core c, or nil.
+func (s *Scheduler) pop(c int) *task {
+	if s.design == SharedQueue {
+		if len(s.shared) == 0 {
+			return nil
+		}
+		t := s.shared[0]
+		s.shared = s.shared[1:]
+		return t
+	}
+	q := s.perCore[c]
+	if len(q) == 0 {
+		return nil
+	}
+	t := q[0]
+	s.perCore[c] = q[1:]
+	return t
+}
+
+// push returns an unfinished task to core c's queue.
+func (s *Scheduler) push(c int, t *task) {
+	if s.design == SharedQueue {
+		s.shared = append(s.shared, t)
+		return
+	}
+	s.perCore[c] = append(s.perCore[c], t)
+}
+
+// Run executes the loaded tasks to completion and returns the makespan.
+func (s *Scheduler) Run() sim.Time {
+	var step func(c int)
+	step = func(c int) {
+		t := s.pop(c)
+		if t == nil {
+			return // core idles; with per-core queues the backlog is balanced by construction
+		}
+		cost := s.switchCost()
+		s.switches++
+		s.overhead += cost
+		slice := s.cfg.Quantum
+		if t.remaining < slice {
+			slice = t.remaining
+		}
+		s.useful += slice
+		t.remaining -= slice
+		s.eng.After(cost+slice, func() {
+			if t.remaining > 0 {
+				s.push(c, t)
+			} else {
+				s.done++
+			}
+			step(c)
+		})
+	}
+	for c := 0; c < s.cfg.Cores; c++ {
+		step(c)
+	}
+	s.eng.Run()
+	return s.eng.Now()
+}
+
+// Result summarizes a run.
+type Result struct {
+	Design    Design
+	Cores     int
+	Makespan  sim.Time
+	Useful    sim.Time
+	Overhead  sim.Time
+	Switches  uint64
+	Completed int
+}
+
+// OverheadFraction is overhead / (useful + overhead).
+func (r Result) OverheadFraction() float64 {
+	total := r.Useful + r.Overhead
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Overhead) / float64(total)
+}
+
+// Experiment runs both designs at the given core count with tasksPerCore
+// threads per core and returns the pair of results.
+func Experiment(cores, tasksPerCore int, work sim.Time) (shared, perCore Result) {
+	run := func(d Design) Result {
+		s := New(DefaultConfig(cores), d, 1)
+		s.Load(cores*tasksPerCore, work)
+		mk := s.Run()
+		if s.done != s.total {
+			panic(fmt.Sprintf("globalq: %d of %d tasks finished", s.done, s.total))
+		}
+		return Result{
+			Design: d, Cores: cores, Makespan: mk,
+			Useful: s.useful, Overhead: s.overhead,
+			Switches: s.switches, Completed: s.done,
+		}
+	}
+	return run(SharedQueue), run(PerCoreQueue)
+}
+
+// ScalingTable runs the experiment across core counts and renders the
+// §2.2 argument as a table: the shared queue's switch overhead grows with
+// the machine while the per-core design stays flat.
+func ScalingTable(coreCounts []int, tasksPerCore int, work sim.Time) string {
+	out := "runqueue design scaling (switch overhead as % of CPU time):\n\n"
+	out += fmt.Sprintf("%-8s %16s %16s\n", "cores", "shared queue", "per-core queues")
+	for _, n := range coreCounts {
+		sh, pc := Experiment(n, tasksPerCore, work)
+		out += fmt.Sprintf("%-8d %15.2f%% %15.2f%%\n",
+			n, 100*sh.OverheadFraction(), 100*pc.OverheadFraction())
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package machine
+
+import "repro/internal/sim"
+
+// SpinLock models a user-space spinlock: contenders stay on-CPU, burning
+// their timeslice without making progress, exactly the behaviour that
+// turns scheduler placement bugs into superlinear slowdowns (§3.2: NAS
+// applications "use spinlocks and spin-barriers; ... the thread that
+// executes the critical section may be descheduled in favour of a thread
+// that will waste its timeslice by spinning").
+type SpinLock struct {
+	id       int
+	holder   *MThread
+	spinners []*MThread // FIFO arrival order
+
+	// Contention statistics.
+	Acquisitions uint64
+	Contended    uint64
+}
+
+// Held reports whether the lock is currently held.
+func (l *SpinLock) Held() bool { return l.holder != nil }
+
+// ID returns the lock's machine-wide sequential id.
+func (l *SpinLock) ID() int { return l.id }
+
+// SpinBarrier models a spin-wait barrier over a fixed number of parties.
+// Arrivals spin on-CPU until the last party arrives. With a non-zero
+// blockAfter the barrier is adaptive, like OpenMP's spin-then-yield wait
+// policy: a waiter that has spun for blockAfter blocks (futex) and is
+// woken by the releasing thread — routing barrier waits through the
+// scheduler's wakeup-placement path.
+type SpinBarrier struct {
+	id         int
+	parties    int
+	arrived    []*MThread
+	blockAfter sim.Time
+
+	// Completions counts barrier episodes.
+	Completions uint64
+	// Blocks counts spin-to-block conversions.
+	Blocks uint64
+}
+
+// Parties returns the number of participants.
+func (b *SpinBarrier) Parties() int { return b.parties }
+
+// SpinFlag is a directional busy-wait handoff: consumers spin on-CPU until
+// a token is posted (producers never block). It models the flag arrays NAS
+// lu uses for its pipelined wavefront — "threads wait for the data
+// processed by other threads" (§3.2) — where a descheduled producer leaves
+// every downstream consumer burning cycles.
+type SpinFlag struct {
+	id       int
+	tokens   int
+	spinners []*MThread
+
+	Posts uint64
+	Waits uint64
+}
+
+// Tokens returns the number of posted-but-unconsumed tokens.
+func (f *SpinFlag) Tokens() int { return f.tokens }
+
+// WaitQueue models futex-style blocking waits: waiters leave the CPU
+// entirely and are woken by another thread — the wakeup path where the
+// Overload-on-Wakeup bug lives (§3.3). Signals with no waiter are lost,
+// as with condition variables.
+type WaitQueue struct {
+	id      int
+	waiters []*MThread
+
+	Signals     uint64
+	LostSignals uint64
+}
+
+// Waiters returns the number of blocked threads.
+func (q *WaitQueue) Waiters() int { return len(q.waiters) }
+
+// Task is one unit of work in a WorkQueue. A completed task with Depth > 0
+// pushes Fanout child tasks, so work fans out through the worker pool and
+// workers wake each other — the producer-consumer pattern whose wakeups
+// trigger the Overload-on-Wakeup bug (§3.3).
+type Task struct {
+	Dur    sim.Time
+	Fanout int
+	Depth  int
+}
+
+// WorkQueue models a pool-of-workers task queue (the commercial database
+// of §3.3: "a handful of container processes each provide several dozens
+// of worker threads"). Pop blocks while empty; Push wakes blocked
+// poppers; Drain blocks until every pushed task has been fully processed.
+type WorkQueue struct {
+	id          int
+	tasks       []Task
+	outstanding int // popped but not yet completed
+	popWaiters  []*MThread
+	drainers    []*MThread
+
+	Pushed    uint64
+	Completed uint64
+}
+
+// Pending returns the number of queued (not yet popped) tasks.
+func (q *WorkQueue) Pending() int { return len(q.tasks) }
+
+// Outstanding returns the number of popped-but-unfinished tasks.
+func (q *WorkQueue) Outstanding() int { return q.outstanding }
+
+// Idle reports whether the queue is empty with nothing outstanding.
+func (q *WorkQueue) Idle() bool { return len(q.tasks) == 0 && q.outstanding == 0 }

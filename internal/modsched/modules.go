@@ -1,0 +1,85 @@
+package modsched
+
+import (
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// CacheAffinity is the paper's example module: "A cache affinity module
+// might suggest waking up a thread on a core where it recently ran." It
+// proposes the thread's previous core, then the waker's SMT sibling, then
+// any core of the waker's node — the same heuristic whose unconditional
+// form caused the Overload-on-Wakeup bug. Under the core module it is
+// safe: infeasible suggestions are overridden.
+type CacheAffinity struct{}
+
+// Name implements Module.
+func (CacheAffinity) Name() string { return "cache-affinity" }
+
+// SuggestWakeup implements Module.
+func (CacheAffinity) SuggestWakeup(v View, t *sched.Thread, waker *sched.Thread,
+	prev topology.CoreID, allowed sched.CPUSet) (topology.CoreID, bool) {
+	if allowed.Has(prev) {
+		return prev, true
+	}
+	if waker != nil && waker.CPU() >= 0 {
+		topo := v.Topology()
+		if sib, ok := topo.SMTSibling(waker.CPU()); ok && allowed.Has(sib) {
+			return sib, true
+		}
+		for _, c := range topo.CoresOfNode(topo.NodeOf(waker.CPU())) {
+			if allowed.Has(c) {
+				return c, true
+			}
+		}
+	}
+	return -1, false
+}
+
+// LoadSpread suggests the least-loaded allowed core — a contention-
+// avoidance module ("a resource contention module might suggest a
+// placement of threads that reduces the chances of contention-induced
+// performance degradation", §5).
+type LoadSpread struct{}
+
+// Name implements Module.
+func (LoadSpread) Name() string { return "load-spread" }
+
+// SuggestWakeup implements Module.
+func (LoadSpread) SuggestWakeup(v View, t *sched.Thread, waker *sched.Thread,
+	prev topology.CoreID, allowed sched.CPUSet) (topology.CoreID, bool) {
+	best := topology.CoreID(-1)
+	bestLoad := 0.0
+	allowed.ForEach(func(c topology.CoreID) {
+		l := v.CPULoad(c)
+		if best < 0 || l < bestLoad {
+			best = c
+			bestLoad = l
+		}
+	})
+	return best, best >= 0
+}
+
+// NUMALocality prefers an idle core on the thread's last NUMA node before
+// letting placement wander off-node — a memory-locality module ("a load
+// balancer risks to break memory-node affinity as it moves threads among
+// runqueues", §5).
+type NUMALocality struct{}
+
+// Name implements Module.
+func (NUMALocality) Name() string { return "numa-locality" }
+
+// SuggestWakeup implements Module.
+func (NUMALocality) SuggestWakeup(v View, t *sched.Thread, waker *sched.Thread,
+	prev topology.CoreID, allowed sched.CPUSet) (topology.CoreID, bool) {
+	topo := v.Topology()
+	if prev < 0 {
+		return -1, false
+	}
+	for _, c := range topo.CoresOfNode(topo.NodeOf(prev)) {
+		if allowed.Has(c) && v.IsIdle(c) {
+			return c, true
+		}
+	}
+	return -1, false
+}

@@ -1,0 +1,348 @@
+// Package rbtree implements a left-leaning-free, classic red-black tree.
+//
+// It is the data structure backing every CFS runqueue in this repository,
+// mirroring the kernel's cfs_rq->tasks_timeline: threads are kept sorted by
+// (vruntime, tid) and the scheduler repeatedly takes the leftmost node
+// ("the thread with the smallest vruntime", §2.1 of the paper). The tree is
+// generic so tests can exercise it with plain integers.
+package rbtree
+
+type color bool
+
+const (
+	red   color = true
+	black color = false
+)
+
+type node[T any] struct {
+	item                T
+	left, right, parent *node[T]
+	color               color
+}
+
+// Tree is an ordered collection with O(log n) insert/delete and O(1) access
+// to the minimum element (cached, as the kernel caches rb_leftmost).
+type Tree[T any] struct {
+	root     *node[T]
+	leftmost *node[T]
+	size     int
+	less     func(a, b T) bool
+}
+
+// New returns an empty tree ordered by less. Items comparing equal under
+// less are permitted; their relative order is insertion-dependent, so
+// callers that need total order (CFS does) must break ties in less.
+func New[T any](less func(a, b T) bool) *Tree[T] {
+	return &Tree[T]{less: less}
+}
+
+// Len reports the number of items in the tree.
+func (t *Tree[T]) Len() int { return t.size }
+
+// Min returns the smallest item. ok is false when the tree is empty.
+func (t *Tree[T]) Min() (item T, ok bool) {
+	if t.leftmost == nil {
+		var zero T
+		return zero, false
+	}
+	return t.leftmost.item, true
+}
+
+// Handle identifies an inserted item so it can be deleted in O(log n)
+// without a search. A Handle is invalidated by the Delete that consumes it.
+type Handle[T any] struct{ n *node[T] }
+
+// Item returns the stored item.
+func (h Handle[T]) Item() T { return h.n.item }
+
+// Insert adds item and returns its handle.
+func (t *Tree[T]) Insert(item T) Handle[T] {
+	n := &node[T]{item: item, color: red}
+	// Standard BST insert.
+	var parent *node[T]
+	cur := t.root
+	isLeft := true
+	for cur != nil {
+		parent = cur
+		if t.less(item, cur.item) {
+			cur = cur.left
+			isLeft = true
+		} else {
+			cur = cur.right
+			isLeft = false
+		}
+	}
+	n.parent = parent
+	switch {
+	case parent == nil:
+		t.root = n
+	case isLeft:
+		parent.left = n
+	default:
+		parent.right = n
+	}
+	if t.leftmost == nil || t.less(item, t.leftmost.item) {
+		t.leftmost = n
+	}
+	t.size++
+	t.insertFixup(n)
+	return Handle[T]{n}
+}
+
+// Delete removes the item identified by h. Deleting an already-removed
+// handle is a programming error and panics.
+func (t *Tree[T]) Delete(h Handle[T]) {
+	n := h.n
+	if n == nil {
+		panic("rbtree: delete of zero handle")
+	}
+	if t.leftmost == n {
+		t.leftmost = successor(n)
+	}
+	t.size--
+	t.deleteNode(n)
+}
+
+// Each visits items in ascending order. The tree must not be modified
+// during iteration.
+func (t *Tree[T]) Each(fn func(item T) bool) {
+	for n := minimum(t.root); n != nil; n = successor(n) {
+		if !fn(n.item) {
+			return
+		}
+	}
+}
+
+// Items returns all items in ascending order (primarily for tests and
+// trace snapshots).
+func (t *Tree[T]) Items() []T {
+	out := make([]T, 0, t.size)
+	t.Each(func(it T) bool { out = append(out, it); return true })
+	return out
+}
+
+func minimum[T any](n *node[T]) *node[T] {
+	if n == nil {
+		return nil
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+func successor[T any](n *node[T]) *node[T] {
+	if n.right != nil {
+		return minimum(n.right)
+	}
+	p := n.parent
+	for p != nil && n == p.right {
+		n, p = p, p.parent
+	}
+	return p
+}
+
+func (t *Tree[T]) rotateLeft(x *node[T]) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree[T]) rotateRight(x *node[T]) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+func (t *Tree[T]) insertFixup(z *node[T]) {
+	for z.parent != nil && z.parent.color == red {
+		gp := z.parent.parent
+		if z.parent == gp.left {
+			u := gp.right
+			if u != nil && u.color == red {
+				z.parent.color = black
+				u.color = black
+				gp.color = red
+				z = gp
+			} else {
+				if z == z.parent.right {
+					z = z.parent
+					t.rotateLeft(z)
+				}
+				z.parent.color = black
+				gp.color = red
+				t.rotateRight(gp)
+			}
+		} else {
+			u := gp.left
+			if u != nil && u.color == red {
+				z.parent.color = black
+				u.color = black
+				gp.color = red
+				z = gp
+			} else {
+				if z == z.parent.left {
+					z = z.parent
+					t.rotateRight(z)
+				}
+				z.parent.color = black
+				gp.color = red
+				t.rotateLeft(gp)
+			}
+		}
+	}
+	t.root.color = black
+}
+
+func (t *Tree[T]) transplant(u, v *node[T]) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	if v != nil {
+		v.parent = u.parent
+	}
+}
+
+// deleteNode is CLRS RB-DELETE adapted to tolerate nil leaves by tracking
+// the fixup node's parent explicitly.
+func (t *Tree[T]) deleteNode(z *node[T]) {
+	y := z
+	yOrig := y.color
+	var x, xParent *node[T]
+	switch {
+	case z.left == nil:
+		x = z.right
+		xParent = z.parent
+		t.transplant(z, z.right)
+	case z.right == nil:
+		x = z.left
+		xParent = z.parent
+		t.transplant(z, z.left)
+	default:
+		y = minimum(z.right)
+		yOrig = y.color
+		x = y.right
+		if y.parent == z {
+			xParent = y
+		} else {
+			xParent = y.parent
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.color = z.color
+	}
+	z.parent, z.left, z.right = nil, nil, nil
+	if yOrig == black {
+		t.deleteFixup(x, xParent)
+	}
+}
+
+func (t *Tree[T]) deleteFixup(x, parent *node[T]) {
+	for x != t.root && isBlack(x) {
+		if parent == nil {
+			break
+		}
+		if x == parent.left {
+			w := parent.right
+			if isRed(w) {
+				w.color = black
+				parent.color = red
+				t.rotateLeft(parent)
+				w = parent.right
+			}
+			if isBlack(w.left) && isBlack(w.right) {
+				w.color = red
+				x = parent
+				parent = x.parent
+			} else {
+				if isBlack(w.right) {
+					if w.left != nil {
+						w.left.color = black
+					}
+					w.color = red
+					t.rotateRight(w)
+					w = parent.right
+				}
+				w.color = parent.color
+				parent.color = black
+				if w.right != nil {
+					w.right.color = black
+				}
+				t.rotateLeft(parent)
+				x = t.root
+				parent = nil
+			}
+		} else {
+			w := parent.left
+			if isRed(w) {
+				w.color = black
+				parent.color = red
+				t.rotateRight(parent)
+				w = parent.left
+			}
+			if isBlack(w.right) && isBlack(w.left) {
+				w.color = red
+				x = parent
+				parent = x.parent
+			} else {
+				if isBlack(w.left) {
+					if w.right != nil {
+						w.right.color = black
+					}
+					w.color = red
+					t.rotateLeft(w)
+					w = parent.left
+				}
+				w.color = parent.color
+				parent.color = black
+				if w.left != nil {
+					w.left.color = black
+				}
+				t.rotateRight(parent)
+				x = t.root
+				parent = nil
+			}
+		}
+	}
+	if x != nil {
+		x.color = black
+	}
+}
+
+func isRed[T any](n *node[T]) bool   { return n != nil && n.color == red }
+func isBlack[T any](n *node[T]) bool { return n == nil || n.color == black }

@@ -1,0 +1,329 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intTree() *Tree[int] { return New[int](func(a, b int) bool { return a < b }) }
+
+// checkInvariants verifies the red-black properties and BST order, returning
+// the black height. It fails the test on violation.
+func checkInvariants(t *testing.T, tr *Tree[int]) {
+	t.Helper()
+	if tr.root != nil && tr.root.color != black {
+		t.Fatal("root is not black")
+	}
+	var walk func(n *node[int]) int
+	walk = func(n *node[int]) int {
+		if n == nil {
+			return 1
+		}
+		if n.color == red {
+			if isRed(n.left) || isRed(n.right) {
+				t.Fatal("red node has red child")
+			}
+		}
+		if n.left != nil {
+			if n.left.parent != n {
+				t.Fatal("broken parent link (left)")
+			}
+			if n.item > n.item { // trivially false; real check below
+				t.Fatal("unreachable")
+			}
+			if n.left.item > n.item {
+				t.Fatalf("BST violation: left %d > %d", n.left.item, n.item)
+			}
+		}
+		if n.right != nil {
+			if n.right.parent != n {
+				t.Fatal("broken parent link (right)")
+			}
+			if n.right.item < n.item {
+				t.Fatalf("BST violation: right %d < %d", n.right.item, n.item)
+			}
+		}
+		lh := walk(n.left)
+		rh := walk(n.right)
+		if lh != rh {
+			t.Fatalf("black height mismatch: %d vs %d", lh, rh)
+		}
+		if n.color == black {
+			return lh + 1
+		}
+		return lh
+	}
+	walk(tr.root)
+	// Leftmost cache agrees with actual minimum.
+	if tr.root == nil {
+		if tr.leftmost != nil {
+			t.Fatal("leftmost set on empty tree")
+		}
+	} else if tr.leftmost != minimum(tr.root) {
+		t.Fatal("leftmost cache stale")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	tr := intTree()
+	if tr.Len() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree reported ok")
+	}
+	if items := tr.Items(); len(items) != 0 {
+		t.Fatal("Items on empty tree non-empty")
+	}
+}
+
+func TestInsertSorted(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 100; i++ {
+		tr.Insert(i)
+		checkInvariants(t, tr)
+	}
+	items := tr.Items()
+	for i, v := range items {
+		if v != i {
+			t.Fatalf("Items()[%d] = %d", i, v)
+		}
+	}
+	if min, _ := tr.Min(); min != 0 {
+		t.Fatalf("Min = %d", min)
+	}
+}
+
+func TestInsertReverse(t *testing.T) {
+	tr := intTree()
+	for i := 99; i >= 0; i-- {
+		tr.Insert(i)
+	}
+	checkInvariants(t, tr)
+	if min, _ := tr.Min(); min != 0 {
+		t.Fatalf("Min = %d", min)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestDeleteByHandle(t *testing.T) {
+	tr := intTree()
+	handles := make(map[int]Handle[int])
+	for i := 0; i < 50; i++ {
+		handles[i] = tr.Insert(i)
+	}
+	// Delete evens.
+	for i := 0; i < 50; i += 2 {
+		tr.Delete(handles[i])
+		checkInvariants(t, tr)
+	}
+	items := tr.Items()
+	if len(items) != 25 {
+		t.Fatalf("Len after deletes = %d", len(items))
+	}
+	for i, v := range items {
+		if v != 2*i+1 {
+			t.Fatalf("Items()[%d] = %d, want %d", i, v, 2*i+1)
+		}
+	}
+}
+
+func TestDeleteMinRepeatedly(t *testing.T) {
+	tr := intTree()
+	handles := make([]Handle[int], 0)
+	vals := rand.New(rand.NewSource(3)).Perm(200)
+	byVal := map[int]Handle[int]{}
+	for _, v := range vals {
+		h := tr.Insert(v)
+		handles = append(handles, h)
+		byVal[v] = h
+	}
+	for want := 0; want < 200; want++ {
+		got, ok := tr.Min()
+		if !ok || got != want {
+			t.Fatalf("Min = %d,%v want %d", got, ok, want)
+		}
+		tr.Delete(byVal[got])
+	}
+	if tr.Len() != 0 {
+		t.Fatal("tree not empty after draining")
+	}
+	_ = handles
+}
+
+func TestDuplicates(t *testing.T) {
+	tr := intTree()
+	var hs []Handle[int]
+	for i := 0; i < 10; i++ {
+		hs = append(hs, tr.Insert(7))
+	}
+	checkInvariants(t, tr)
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for _, h := range hs {
+		tr.Delete(h)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("duplicates not fully removed")
+	}
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 10; i++ {
+		tr.Insert(i)
+	}
+	count := 0
+	tr.Each(func(int) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Fatalf("Each visited %d items, want 3", count)
+	}
+}
+
+func TestHandleItem(t *testing.T) {
+	tr := intTree()
+	h := tr.Insert(42)
+	if h.Item() != 42 {
+		t.Fatalf("Handle.Item = %d", h.Item())
+	}
+}
+
+func TestRandomOperations(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := intTree()
+	type entry struct {
+		v int
+		h Handle[int]
+	}
+	var live []entry
+	for op := 0; op < 5000; op++ {
+		if len(live) == 0 || rng.Intn(3) != 0 {
+			v := rng.Intn(1000)
+			live = append(live, entry{v, tr.Insert(v)})
+		} else {
+			i := rng.Intn(len(live))
+			tr.Delete(live[i].h)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if op%250 == 0 {
+			checkInvariants(t, tr)
+		}
+	}
+	checkInvariants(t, tr)
+	want := make([]int, len(live))
+	for i, e := range live {
+		want[i] = e.v
+	}
+	sort.Ints(want)
+	got := tr.Items()
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Items[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// Property-based: any insert sequence yields sorted iteration and intact
+// invariants.
+func TestPropertySortedIteration(t *testing.T) {
+	f := func(vals []int16) bool {
+		tr := intTree()
+		for _, v := range vals {
+			tr.Insert(int(v))
+		}
+		items := tr.Items()
+		if len(items) != len(vals) {
+			return false
+		}
+		return sort.IntsAreSorted(items)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property-based: delete a random subset; remaining items match a reference
+// multiset, still sorted.
+func TestPropertyDeleteSubset(t *testing.T) {
+	f := func(vals []int16, mask []bool) bool {
+		tr := intTree()
+		var hs []Handle[int]
+		for _, v := range vals {
+			hs = append(hs, tr.Insert(int(v)))
+		}
+		want := map[int]int{}
+		deleted := 0
+		for i, h := range hs {
+			if i < len(mask) && mask[i] {
+				tr.Delete(h)
+				deleted++
+			} else {
+				want[int(vals[i])]++
+			}
+		}
+		if tr.Len() != len(vals)-deleted {
+			return false
+		}
+		got := tr.Items()
+		if !sort.IntsAreSorted(got) {
+			return false
+		}
+		for _, v := range got {
+			want[v]--
+		}
+		for _, c := range want {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteZeroHandlePanics(t *testing.T) {
+	tr := intTree()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Delete(Handle[int]{})
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	tr := intTree()
+	rng := rand.New(rand.NewSource(1))
+	hs := make([]Handle[int], 0, 1024)
+	for i := 0; i < 1024; i++ {
+		hs = append(hs, tr.Insert(rng.Intn(1<<20)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % 1024
+		tr.Delete(hs[j])
+		hs[j] = tr.Insert(rng.Intn(1 << 20))
+	}
+}
+
+func BenchmarkMin(b *testing.B) {
+	tr := intTree()
+	for i := 0; i < 4096; i++ {
+		tr.Insert(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Min()
+	}
+}

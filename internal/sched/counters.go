@@ -1,0 +1,34 @@
+package sched
+
+import "fmt"
+
+// Counters aggregates scheduler activity for experiment reports and tests.
+type Counters struct {
+	Switches             uint64 // context switches (threads started on a core)
+	Preemptions          uint64 // involuntary deschedules
+	WakeupPreemptions    uint64 // preemptions caused by a waking thread
+	Wakeups              uint64
+	WakeupsOnIdle        uint64 // wakeups placed on an idle core
+	WakeupsOnBusy        uint64 // wakeups placed on a busy core (OoW symptom)
+	Forks                uint64
+	Migrations           uint64 // threads moved between runqueues
+	HotplugMigrations    uint64
+	BalanceCalls         uint64 // loadBalance invocations across all paths
+	PeriodicBalanceCalls uint64
+	NewIdleBalanceCalls  uint64
+	NohzKicks            uint64
+	NohzBalancePasses    uint64
+	DomainRebuilds       uint64
+	AffinityBreaks       uint64 // select_fallback_rq: affinity emptied by hotplug
+}
+
+// String renders the counters as a compact multi-line report.
+func (c Counters) String() string {
+	return fmt.Sprintf(
+		"switches=%d preempt=%d (wakeup=%d) wakeups=%d (idle=%d busy=%d) forks=%d\n"+
+			"migrations=%d (hotplug=%d) balance=%d (periodic=%d newidle=%d) nohz-kicks=%d nohz-passes=%d rebuilds=%d",
+		c.Switches, c.Preemptions, c.WakeupPreemptions, c.Wakeups, c.WakeupsOnIdle,
+		c.WakeupsOnBusy, c.Forks, c.Migrations, c.HotplugMigrations, c.BalanceCalls,
+		c.PeriodicBalanceCalls, c.NewIdleBalanceCalls, c.NohzKicks, c.NohzBalancePasses,
+		c.DomainRebuilds)
+}

@@ -1,0 +1,420 @@
+package sched
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// CPU is the scheduler's per-core state: the running thread, the local
+// runqueue ("Scalability concerns dictate using per-core runqueues",
+// §2.2), the core's private view of the scheduling-domain hierarchy, and
+// tick/balance bookkeeping.
+type CPU struct {
+	id     topology.CoreID
+	rq     *cfsRQ
+	curr   *Thread
+	online bool
+
+	// accounting
+	accruedUpTo sim.Time // curr's exec time folded in up to here
+
+	// idle state
+	idleSince sim.Time
+	tickless  bool // NOHZ: idle and not ticking
+
+	// ticking
+	tickEv *sim.Event
+
+	// domains and balancing
+	domains        []*Domain
+	nextBalance    []sim.Time
+	balanceFailed  []int // consecutive failed balances per level
+	pinnedFailure  bool  // last steal attempt from this rq failed due to tasksets
+	reschedPending bool
+}
+
+// ID returns the core id.
+func (c *CPU) ID() topology.CoreID { return c.id }
+
+// Online reports whether the core is enabled.
+func (c *CPU) Online() bool { return c.online }
+
+// nrRunning mirrors the kernel's rq->nr_running: queued plus current.
+func (c *CPU) nrRunning() int {
+	n := c.rq.queued()
+	if c.curr != nil {
+		n++
+	}
+	return n
+}
+
+// idle reports whether the core has nothing to run.
+func (c *CPU) idle() bool { return c.online && c.curr == nil && c.rq.queued() == 0 }
+
+// updateCurr folds the running thread's elapsed time into its vruntime and
+// execution totals.
+func (s *Scheduler) updateCurr(c *CPU) {
+	t := c.curr
+	if t == nil {
+		return
+	}
+	now := s.eng.Now()
+	delta := now - c.accruedUpTo
+	if delta <= 0 {
+		return
+	}
+	c.accruedUpTo = now
+	t.sumExec += delta
+	t.vruntime += t.deltaVruntime(delta)
+	c.rq.updateMinVruntime(t)
+}
+
+// sliceFor computes the thread's timeslice: the scheduling period divided
+// proportionally to weight (§2.1), stretched when the runqueue exceeds
+// NrLatency threads.
+func (s *Scheduler) sliceFor(c *CPU, t *Thread) sim.Time {
+	nr := c.rq.queued() + 1
+	period := s.cfg.Latency
+	if nr > s.cfg.NrLatency {
+		period = sim.Time(nr) * s.cfg.MinGranularity
+	}
+	total := c.rq.queuedWt
+	if c.curr != nil {
+		total += c.curr.wt
+	}
+	if !t.queued && t != c.curr {
+		total += t.wt
+	}
+	if total <= 0 {
+		return period
+	}
+	slice := sim.Time(float64(period) * float64(t.wt) / float64(total))
+	if slice < s.cfg.MinGranularity {
+		slice = s.cfg.MinGranularity
+	}
+	return slice
+}
+
+// resched requests a context switch on c, deferred to an immediate event so
+// in-flight enqueue/balance operations complete before curr changes.
+func (s *Scheduler) resched(c *CPU) {
+	if c.reschedPending {
+		return
+	}
+	c.reschedPending = true
+	s.eng.After(0, func() {
+		c.reschedPending = false
+		if !c.online {
+			return
+		}
+		if c.curr != nil || c.rq.queued() > 0 {
+			s.schedule(c)
+		}
+	})
+}
+
+// schedule is the context switch: put the previous thread back on the
+// timeline if it is still runnable, pick the leftmost thread ("the thread
+// with the smallest vruntime", §2.1), and fall back to newidle balancing
+// ("emergency load balancing when a core becomes idle", §2.2) before going
+// idle.
+func (s *Scheduler) schedule(c *CPU) {
+	now := s.eng.Now()
+	prev := c.curr
+	if prev != nil {
+		s.updateCurr(c)
+		prev.state = StateRunnable
+		prev.lastRan = now
+		c.curr = nil
+		c.rq.enqueue(prev)
+		s.adjustOccupancy()
+	}
+	next := c.rq.leftmost()
+	if next == nil {
+		s.newIdleBalance(c)
+		next = c.rq.leftmost()
+	}
+	if next == nil {
+		s.goIdle(c)
+		return
+	}
+	if next == prev {
+		// prev is still the fairest choice: keep it running without
+		// bouncing it through the hooks (its pending work events stay
+		// valid). The stint restarts, as with the kernel's
+		// set_next_entity.
+		c.rq.dequeue(prev)
+		prev.state = StateRunning
+		c.curr = prev
+		c.accruedUpTo = now
+		prev.execStart = now
+		s.adjustOccupancy()
+		return
+	}
+	if prev != nil {
+		prev.nrPreempted++
+		s.counters.Preemptions++
+		s.hooks.ThreadStopped(c.id, prev, StopPreempted)
+	}
+	c.rq.dequeue(next)
+	s.adjustOccupancy()
+	s.startThread(c, next)
+}
+
+// startThread makes t current on c.
+func (s *Scheduler) startThread(c *CPU, t *Thread) {
+	now := s.eng.Now()
+	if c.curr != nil {
+		panic("sched: startThread on busy cpu")
+	}
+	s.leaveIdle(c)
+	c.curr = t
+	c.accruedUpTo = now
+	t.state = StateRunning
+	t.cpu = c.id
+	t.execStart = now
+	t.la.setRunnable(now, true)
+	s.counters.Switches++
+	s.adjustOccupancy()
+	if s.nohzBalancer == c.id {
+		s.nohzBalancer = -1 // the balancer found work; role lapses
+	}
+	s.armTick(c)
+	s.hooks.ThreadStarted(c.id, t)
+}
+
+// goIdle transitions c to idle, appending it to the system idle list (the
+// kernel's list the OoW fix reads: "picking the first one (this is the one
+// that has been idle the longest) takes constant time", §3.3). Under NOHZ
+// the core goes tickless (§2.2.2).
+func (s *Scheduler) goIdle(c *CPU) {
+	now := s.eng.Now()
+	c.curr = nil
+	c.idleSince = now
+	s.idleCPUs = append(s.idleCPUs, c.id)
+	s.adjustOccupancy()
+	if s.cfg.NOHZ && s.nohzBalancer != c.id {
+		c.tickless = true
+		if c.tickEv != nil {
+			s.eng.Cancel(c.tickEv)
+			c.tickEv = nil
+		}
+	}
+}
+
+// leaveIdle removes c from the idle list.
+func (s *Scheduler) leaveIdle(c *CPU) {
+	c.tickless = false
+	for i, id := range s.idleCPUs {
+		if id == c.id {
+			s.idleCPUs = append(s.idleCPUs[:i], s.idleCPUs[i+1:]...)
+			break
+		}
+	}
+}
+
+// nextTickAt returns the next tick boundary for c on its staggered grid
+// (each core's tick is offset within the period, like real timer
+// interrupts).
+func (s *Scheduler) nextTickAt(c *CPU) sim.Time {
+	period := s.cfg.TickPeriod
+	phase := sim.Time(int64(c.id)) * period / sim.Time(len(s.cpus))
+	now := s.eng.Now()
+	n := (now-phase)/period + 1
+	if phase+n*period <= now {
+		n++
+	}
+	return phase + n*period
+}
+
+// armTick ensures a tick event is pending for c.
+func (s *Scheduler) armTick(c *CPU) {
+	if c.tickEv != nil || !c.online {
+		return
+	}
+	at := s.nextTickAt(c)
+	c.tickEv = s.eng.At(at, func() {
+		c.tickEv = nil
+		s.tick(c)
+	})
+}
+
+// tick is the periodic clock interrupt: account the running thread, check
+// tick preemption, trigger periodic load balancing, and manage the NOHZ
+// balancer role (§2.2.2).
+func (s *Scheduler) tick(c *CPU) {
+	if !c.online {
+		return
+	}
+	now := s.eng.Now()
+	if c.curr != nil {
+		s.updateCurr(c)
+		c.curr.la.advance(now)
+		s.checkPreemptTick(c)
+	}
+	s.periodicBalance(c)
+
+	if s.cfg.NOHZ {
+		if c.curr != nil {
+			// Overloaded cores kick a tickless idle core to take the
+			// NOHZ balancer role.
+			if c.nrRunning() >= 2 {
+				s.maybeKickNohzBalancer()
+			}
+		} else if s.nohzBalancer == c.id {
+			// Balance on behalf of every tickless idle core.
+			s.nohzBalanceAll(c)
+			if !s.anyTicklessIdle() {
+				s.nohzBalancer = -1
+				c.tickless = true
+				return // stop ticking
+			}
+		} else if c.idle() {
+			// Idle, not the balancer: go tickless.
+			c.tickless = true
+			return
+		}
+	}
+	s.armTick(c)
+}
+
+// checkPreemptTick mirrors the kernel's check_preempt_tick: preempt when
+// the stint exceeded the slice, or when a queued thread has fallen a full
+// slice behind — "Once a thread's vruntime exceeds its assigned timeslice,
+// the thread is pre-empted" (§2.1).
+func (s *Scheduler) checkPreemptTick(c *CPU) {
+	if c.rq.queued() == 0 {
+		return
+	}
+	t := c.curr
+	slice := s.sliceFor(c, t)
+	ran := s.eng.Now() - t.execStart
+	if ran > slice {
+		s.resched(c)
+		return
+	}
+	if ran < s.cfg.MinGranularity {
+		return
+	}
+	if lm := c.rq.leftmost(); lm != nil && t.vruntime-lm.vruntime > slice {
+		s.resched(c)
+	}
+}
+
+// enqueueFlags selects vruntime placement on enqueue.
+type enqueueFlag int
+
+const (
+	enqFork enqueueFlag = iota
+	enqWakeup
+	enqMigrate
+)
+
+// enqueueThread inserts t into c's runqueue with the appropriate vruntime
+// placement, emits trace events, and returns after updating occupancy.
+func (s *Scheduler) enqueueThread(c *CPU, t *Thread, flag enqueueFlag) {
+	now := s.eng.Now()
+	switch flag {
+	case enqFork:
+		if t.vruntime < c.rq.minVruntime {
+			t.vruntime = c.rq.minVruntime
+		}
+	case enqWakeup:
+		// GENTLE_FAIR_SLEEPERS: sleepers get at most half a latency
+		// period of credit.
+		if floor := c.rq.minVruntime - s.cfg.Latency/2; t.vruntime < floor {
+			t.vruntime = floor
+		}
+	case enqMigrate:
+		// vruntime was renormalized by the caller (detach/attach).
+	}
+	t.state = StateRunnable
+	t.cpu = c.id
+	t.la.setRunnable(now, true)
+	c.rq.enqueue(t)
+	c.rq.updateMinVruntime(c.curr)
+	s.adjustOccupancy()
+	s.traceNr(c)
+	s.traceLoad(c)
+}
+
+// checkPreemptWakeup decides whether a newly enqueued wakee preempts c's
+// current thread.
+func (s *Scheduler) checkPreemptWakeup(c *CPU, wakee *Thread) {
+	if c.curr == nil {
+		s.resched(c)
+		return
+	}
+	s.updateCurr(c)
+	gran := wakee.deltaVruntime(s.cfg.WakeupGranularity)
+	if c.curr.vruntime-wakee.vruntime > gran {
+		s.counters.WakeupPreemptions++
+		s.resched(c)
+	}
+}
+
+// traceNr records an rq-size change (add_nr_running/sub_nr_running
+// instrumentation, §4.2).
+func (s *Scheduler) traceNr(c *CPU) {
+	if s.rec == nil || !s.rec.Active() {
+		return
+	}
+	s.rec.Record(trace.Event{
+		At: s.eng.Now(), Kind: trace.KindRQSize, CPU: int32(c.id),
+		Arg: int64(c.nrRunning()),
+	})
+}
+
+// traceLoad records an rq-load change (account_entity_enqueue/dequeue
+// instrumentation, §4.2).
+func (s *Scheduler) traceLoad(c *CPU) {
+	if s.rec == nil || !s.rec.Active() {
+		return
+	}
+	s.rec.Record(trace.Event{
+		At: s.eng.Now(), Kind: trace.KindRQLoad, CPU: int32(c.id),
+		Arg: int64(s.CPULoad(c.id)),
+	})
+}
+
+// EmitSnapshot records the current runqueue size and load of every online
+// core. Call it right after activating a recorder: trace events only
+// capture changes, so consumers need the initial state to reconstruct
+// occupancy (cores busy since before the recording window would otherwise
+// read as idle).
+func (s *Scheduler) EmitSnapshot() {
+	if s.rec == nil || !s.rec.Active() {
+		return
+	}
+	for _, c := range s.cpus {
+		if !c.online {
+			continue
+		}
+		s.traceNr(c)
+		s.traceLoad(c)
+	}
+}
+
+// traceConsidered records the set of cores examined by a balancing or
+// wakeup decision (§4.2, used for Figure 5).
+func (s *Scheduler) traceConsidered(cpu topology.CoreID, op trace.Op, mask CPUSet) {
+	if s.rec == nil || !s.rec.Active() {
+		return
+	}
+	s.rec.Record(trace.Event{
+		At: s.eng.Now(), Kind: trace.KindConsidered, Op: op,
+		CPU: int32(cpu), Mask: mask.TraceMask(),
+	})
+}
+
+// traceMigration records a thread migration.
+func (s *Scheduler) traceMigration(t *Thread, from, to topology.CoreID, op trace.Op) {
+	if s.rec == nil || !s.rec.Active() {
+		return
+	}
+	s.rec.Record(trace.Event{
+		At: s.eng.Now(), Kind: trace.KindMigration, Op: op,
+		CPU: int32(from), Arg: int64(t.id), Aux: int64(to),
+	})
+}

@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func TestCPUSetBasics(t *testing.T) {
+	var s CPUSet
+	if !s.Empty() || s.Count() != 0 || s.First() != -1 {
+		t.Fatal("zero set not empty")
+	}
+	s.Set(3)
+	s.Set(70)
+	if s.Empty() || s.Count() != 2 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if !s.Has(3) || !s.Has(70) || s.Has(4) {
+		t.Fatal("membership wrong")
+	}
+	if s.First() != 3 {
+		t.Fatalf("First = %d", s.First())
+	}
+	s.Clear(3)
+	if s.Has(3) || s.First() != 70 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestCPUSetOps(t *testing.T) {
+	a := NewCPUSet(1, 2, 3)
+	b := NewCPUSet(2, 3, 4)
+	if got := a.And(b); !got.Equal(NewCPUSet(2, 3)) {
+		t.Fatalf("And = %v", got)
+	}
+	if got := a.Or(b); !got.Equal(NewCPUSet(1, 2, 3, 4)) {
+		t.Fatalf("Or = %v", got)
+	}
+	if a.Equal(b) {
+		t.Fatal("unequal sets compare equal")
+	}
+}
+
+func TestCPUSetForEachOrder(t *testing.T) {
+	s := NewCPUSet(65, 2, 0, 127)
+	var got []topology.CoreID
+	s.ForEach(func(c topology.CoreID) { got = append(got, c) })
+	want := []topology.CoreID{0, 2, 65, 127}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("order: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFullCPUSet(t *testing.T) {
+	s := FullCPUSet(64)
+	if s.Count() != 64 || !s.Has(63) || s.Has(64) {
+		t.Fatalf("FullCPUSet(64) = %v", s)
+	}
+}
+
+func TestCPUSetString(t *testing.T) {
+	cases := map[string]CPUSet{
+		"{}":        {},
+		"{5}":       NewCPUSet(5),
+		"{0-3}":     NewCPUSet(0, 1, 2, 3),
+		"{0-2,7}":   NewCPUSet(0, 1, 2, 7),
+		"{1,3,5-6}": NewCPUSet(1, 3, 5, 6),
+		"{0,64-65}": NewCPUSet(0, 64, 65),
+	}
+	for want, s := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestCPUSetTraceMask(t *testing.T) {
+	s := NewCPUSet(0, 63, 64)
+	m := s.TraceMask()
+	if !m.Has(0) || !m.Has(63) || !m.Has(64) || m.Has(1) {
+		t.Fatal("TraceMask mismatch")
+	}
+}
+
+func TestPropertyCPUSetCountMatchesCores(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var s CPUSet
+		uniq := map[topology.CoreID]bool{}
+		for _, r := range raw {
+			c := topology.CoreID(r % 128)
+			s.Set(c)
+			uniq[c] = true
+		}
+		if s.Count() != len(uniq) {
+			return false
+		}
+		cores := s.Cores()
+		for i := 1; i < len(cores); i++ {
+			if cores[i] <= cores[i-1] {
+				return false
+			}
+		}
+		return len(cores) == len(uniq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestWeightForNice(t *testing.T) {
+	cases := map[int]int64{
+		0:   1024,
+		-20: 88761,
+		19:  15,
+		5:   335,
+		-5:  3121,
+	}
+	for nice, want := range cases {
+		if got := WeightForNice(nice); got != want {
+			t.Errorf("WeightForNice(%d) = %d, want %d", nice, got, want)
+		}
+	}
+	// Clamping.
+	if WeightForNice(-100) != 88761 || WeightForNice(100) != 15 {
+		t.Error("nice clamping broken")
+	}
+	// Each level ~1.25x apart.
+	for n := MinNice; n < MaxNice; n++ {
+		ratio := float64(WeightForNice(n)) / float64(WeightForNice(n+1))
+		if ratio < 1.1 || ratio > 1.4 {
+			t.Errorf("weight ratio at nice %d = %.3f, want ~1.25", n, ratio)
+		}
+	}
+}
+
+func TestLoadAvgDecay(t *testing.T) {
+	// A thread that stops being runnable halves its average every 32ms.
+	la := loadAvg{avg: 1.0, runnable: false}
+	la.advance(loadHalfLife)
+	if math.Abs(la.avg-0.5) > 1e-9 {
+		t.Fatalf("avg after one half-life = %v, want 0.5", la.avg)
+	}
+	la.advance(2 * loadHalfLife)
+	if math.Abs(la.avg-0.25) > 1e-9 {
+		t.Fatalf("avg after second half-life = %v, want 0.25", la.avg)
+	}
+}
+
+func TestLoadAvgRampUp(t *testing.T) {
+	// A thread that becomes runnable converges toward 1.
+	la := loadAvg{avg: 0, runnable: true}
+	la.advance(loadHalfLife)
+	if math.Abs(la.avg-0.5) > 1e-9 {
+		t.Fatalf("avg = %v, want 0.5", la.avg)
+	}
+	la.advance(10 * loadHalfLife)
+	if la.avg < 0.999 {
+		t.Fatalf("avg should converge to 1, got %v", la.avg)
+	}
+}
+
+func TestLoadAvgSetRunnable(t *testing.T) {
+	la := loadAvg{avg: 1.0, runnable: true}
+	la.setRunnable(loadHalfLife, false) // advance then flip
+	if math.Abs(la.avg-1.0) > 1e-9 {
+		t.Fatalf("runnable period should hold avg at 1, got %v", la.avg)
+	}
+	la.advance(3 * loadHalfLife) // two half-lives after the flip
+	if math.Abs(la.avg-0.25) > 1e-9 {
+		t.Fatalf("avg = %v, want 0.25", la.avg)
+	}
+}
+
+func TestDeltaVruntime(t *testing.T) {
+	t0 := &Thread{wt: NICE0Load}
+	if got := t0.deltaVruntime(10 * sim.Millisecond); got != 10*sim.Millisecond {
+		t.Fatalf("nice-0 delta = %v", got)
+	}
+	heavy := &Thread{wt: 2048} // double weight -> half vruntime
+	if got := heavy.deltaVruntime(10 * sim.Millisecond); got != 5*sim.Millisecond {
+		t.Fatalf("heavy delta = %v", got)
+	}
+	light := &Thread{wt: 512} // half weight -> double vruntime
+	if got := light.deltaVruntime(10 * sim.Millisecond); got != 20*sim.Millisecond {
+		t.Fatalf("light delta = %v", got)
+	}
+}
+
+func TestThreadLoadGroupDivision(t *testing.T) {
+	// §3.1: "a thread in the 64-thread make process has a load roughly 64
+	// times smaller than a thread in a single-threaded R process."
+	auto := &TaskGroup{id: 1, name: "make", threads: 64, divide: true}
+	solo := &TaskGroup{id: 2, name: "R", threads: 1, divide: true}
+	makeT := &Thread{wt: NICE0Load, group: auto, la: loadAvg{avg: 1, runnable: true}}
+	rT := &Thread{wt: NICE0Load, group: solo, la: loadAvg{avg: 1, runnable: true}}
+	ml, rl := makeT.load(0), rT.load(0)
+	if math.Abs(ml-16) > 1e-9 {
+		t.Fatalf("make thread load = %v, want 16", ml)
+	}
+	if math.Abs(rl-1024) > 1e-9 {
+		t.Fatalf("R thread load = %v, want 1024", rl)
+	}
+	// Root group: no division.
+	root := &TaskGroup{id: 0, threads: 64, divide: false}
+	rootT := &Thread{wt: NICE0Load, group: root, la: loadAvg{avg: 1, runnable: true}}
+	if got := rootT.load(0); math.Abs(got-1024) > 1e-9 {
+		t.Fatalf("root thread load = %v, want 1024", got)
+	}
+}
+
+func TestThreadStateString(t *testing.T) {
+	states := []ThreadState{StateNew, StateRunnable, StateRunning, StateSleeping, StateBlocked, StateExited, ThreadState(42)}
+	want := []string{"new", "runnable", "running", "sleeping", "blocked", "exited", "invalid"}
+	for i, st := range states {
+		if st.String() != want[i] {
+			t.Errorf("state %d String = %q, want %q", i, st.String(), want[i])
+		}
+	}
+}

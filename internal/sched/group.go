@@ -1,0 +1,31 @@
+package sched
+
+// TaskGroup models a cgroup/autogroup (§2.2.1): "as of version 2.6.38
+// Linux added a group scheduling feature to bring fairness between groups
+// of threads... later extended to automatically assign processes that
+// belong to different ttys to different cgroups (autogroup feature)."
+//
+// Our model follows the paper's description of the load consequence: a
+// thread's load is divided by the number of threads in its group. This is
+// the ingredient that makes the Group Imbalance bug possible: threads of a
+// 64-thread make carry 1/64th the load of a single-threaded R process.
+type TaskGroup struct {
+	id      int
+	name    string
+	threads int  // live threads in the group
+	divide  bool // false for the root group: no autogroup division
+}
+
+// ID returns the group id (unique per Scheduler).
+func (g *TaskGroup) ID() int { return g.id }
+
+// Name returns the group's label (e.g. the tty it models).
+func (g *TaskGroup) Name() string { return g.name }
+
+// NumThreads returns the number of live threads in the group.
+func (g *TaskGroup) NumThreads() int { return g.threads }
+
+// Divides reports whether per-thread loads are divided by the group's
+// thread count (true for autogroups, false for the root group — threads
+// outside any tty/cgroup are not scaled).
+func (g *TaskGroup) Divides() bool { return g.divide }

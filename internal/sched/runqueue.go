@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"repro/internal/rbtree"
+	"repro/internal/sim"
+)
+
+// rqKey orders the CFS timeline: ascending vruntime, thread id as the
+// tiebreak so ordering is total and deterministic.
+type rqKey struct {
+	vruntime sim.Time
+	tid      int
+	t        *Thread
+}
+
+type rqHandle = rbtree.Handle[rqKey]
+
+func rqLess(a, b rqKey) bool {
+	if a.vruntime != b.vruntime {
+		return a.vruntime < b.vruntime
+	}
+	return a.tid < b.tid
+}
+
+// cfsRQ is a per-core CFS runqueue: "Threads are organized in a runqueue,
+// implemented as a red-black tree, in which the threads are sorted in the
+// increasing order of their vruntime" (§2.1). The running thread is kept
+// outside the tree, as in the kernel.
+type cfsRQ struct {
+	tree        *rbtree.Tree[rqKey]
+	queuedWt    int64    // total weight of queued threads
+	minVruntime sim.Time // monotonic floor for newcomers
+}
+
+func newCFSRQ() *cfsRQ {
+	return &cfsRQ{tree: rbtree.New(rqLess)}
+}
+
+// queued returns the number of threads waiting in the tree (excluding any
+// running thread).
+func (rq *cfsRQ) queued() int { return rq.tree.Len() }
+
+// enqueue inserts t, which must not already be queued.
+func (rq *cfsRQ) enqueue(t *Thread) {
+	if t.queued {
+		panic("sched: thread already queued")
+	}
+	t.onRQ = rq.tree.Insert(rqKey{t.vruntime, t.id, t})
+	t.queued = true
+	rq.queuedWt += t.wt
+}
+
+// dequeue removes t, which must be queued.
+func (rq *cfsRQ) dequeue(t *Thread) {
+	if !t.queued {
+		panic("sched: thread not queued")
+	}
+	rq.tree.Delete(t.onRQ)
+	t.onRQ = rqHandle{}
+	t.queued = false
+	rq.queuedWt -= t.wt
+}
+
+// leftmost returns the queued thread with the smallest vruntime, or nil.
+func (rq *cfsRQ) leftmost() *Thread {
+	k, ok := rq.tree.Min()
+	if !ok {
+		return nil
+	}
+	return k.t
+}
+
+// each visits queued threads in vruntime order.
+func (rq *cfsRQ) each(fn func(t *Thread) bool) {
+	rq.tree.Each(func(k rqKey) bool { return fn(k.t) })
+}
+
+// threads returns the queued threads in vruntime order (a snapshot; safe to
+// mutate the runqueue while iterating the result).
+func (rq *cfsRQ) threads() []*Thread {
+	out := make([]*Thread, 0, rq.tree.Len())
+	rq.each(func(t *Thread) bool { out = append(out, t); return true })
+	return out
+}
+
+// updateMinVruntime advances the monotonic min_vruntime floor given the
+// (possibly nil) current thread.
+func (rq *cfsRQ) updateMinVruntime(curr *Thread) {
+	min := rq.minVruntime
+	cand := sim.Time(-1)
+	if curr != nil {
+		cand = curr.vruntime
+	}
+	if lm := rq.leftmost(); lm != nil {
+		if cand < 0 || lm.vruntime < cand {
+			cand = lm.vruntime
+		}
+	}
+	if cand > min {
+		rq.minVruntime = cand
+	}
+}

@@ -1,0 +1,37 @@
+package sched
+
+// Nice levels map to weights exactly as in the kernel's
+// sched_prio_to_weight table: each nice level is ~1.25x apart, and nice 0
+// is NICE0Load (1024). "A thread's weight is essentially its priority, or
+// niceness in UNIX parlance. Threads with lower niceness have higher
+// weights and vice versa." (§2.1)
+const (
+	// NICE0Load is the weight of a nice-0 thread.
+	NICE0Load = 1024
+	// MinNice and MaxNice bound the UNIX nice range.
+	MinNice = -20
+	MaxNice = 19
+)
+
+var niceToWeight = [40]int64{
+	/* -20 */ 88761, 71755, 56483, 46273, 36291,
+	/* -15 */ 29154, 23254, 18705, 14949, 11916,
+	/* -10 */ 9548, 7620, 6100, 4904, 3906,
+	/*  -5 */ 3121, 2501, 1991, 1586, 1277,
+	/*   0 */ 1024, 820, 655, 526, 423,
+	/*   5 */ 335, 272, 215, 172, 137,
+	/*  10 */ 110, 87, 70, 56, 45,
+	/*  15 */ 36, 29, 23, 18, 15,
+}
+
+// WeightForNice converts a nice value (clamped to [-20, 19]) to a load
+// weight.
+func WeightForNice(nice int) int64 {
+	if nice < MinNice {
+		nice = MinNice
+	}
+	if nice > MaxNice {
+		nice = MaxNice
+	}
+	return niceToWeight[nice-MinNice]
+}

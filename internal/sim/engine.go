@@ -1,0 +1,196 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All scheduler and workload activity in this repository runs on virtual
+// time: events are ordered by (time, sequence number) so that two runs with
+// the same seed produce byte-identical traces. The engine is single-threaded
+// by design — determinism is a core requirement of the reproduction (the
+// paper's bugs depend on precise orderings of asynchronous events, and we
+// need to replay them exactly in tests).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in nanoseconds.
+type Time int64
+
+// Duration constants in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders a Time with an adaptive unit, e.g. "12.5ms".
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return fmt.Sprintf("-%v", -t)
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3gµs", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.4gms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6gs", float64(t)/float64(Second))
+	}
+}
+
+// Seconds converts a Time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Event is a scheduled callback. Events are single-shot; cancelling a fired
+// or already-cancelled event is a no-op.
+type Event struct {
+	when     Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// When returns the virtual time at which the event will fire.
+func (e *Event) When() Time { return e.when }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator clock and event queue.
+type Engine struct {
+	now       Time
+	seq       uint64
+	heap      eventHeap
+	rng       *rand.Rand
+	processed uint64
+}
+
+// New returns an Engine whose random source is seeded with seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Processed reports the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending reports the number of events currently queued (including
+// cancelled events that have not yet been popped).
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it would silently reorder causality and mask bugs.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel prevents ev from firing. Safe on nil, fired, and already-cancelled
+// events.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	ev.fn = nil
+	if ev.index >= 0 {
+		heap.Remove(&e.heap, ev.index)
+		ev.index = -1
+	}
+}
+
+// Step executes the earliest pending event. It reports false when the queue
+// is empty.
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		ev := heap.Pop(&e.heap).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.when < e.now {
+			panic("sim: event queue went backwards")
+		}
+		e.now = ev.when
+		fn := ev.fn
+		ev.fn = nil
+		e.processed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the queue is exhausted or the next event
+// is later than t, then advances the clock to exactly t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.heap) > 0 {
+		// Peek: heap[0] is the earliest event.
+		next := e.heap[0]
+		if next.canceled {
+			heap.Pop(&e.heap)
+			continue
+		}
+		if next.when > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Run executes events until none remain. Use RunUntil for workloads that
+// self-perpetuate (e.g. periodic ticks).
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2µs"},
+		{3 * Millisecond, "3ms"},
+		{1500 * Millisecond, "1.5s"},
+		{-3 * Millisecond, "-3ms"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := New(1)
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Cancel(nil)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	e := New(1)
+	fired := false
+	var ev *Event
+	e.At(5, func() { e.Cancel(ev) })
+	ev = e.At(10, func() { fired = true })
+	e.Run()
+	if fired {
+		t.Fatal("event cancelled at t=5 still fired at t=10")
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := New(1)
+	var at Time
+	e.At(100, func() {
+		e.After(50, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 150 {
+		t.Fatalf("After(50) from t=100 fired at %v, want 150", at)
+	}
+}
+
+func TestAfterNegativeClamps(t *testing.T) {
+	e := New(1)
+	ran := false
+	e.At(100, func() {
+		e.After(-5, func() { ran = true })
+	})
+	e.Run()
+	if !ran || e.Now() != 100 {
+		t.Fatalf("After(-5) should clamp to now; ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New(1)
+	e.At(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(50, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		e.After(10, tick)
+	}
+	e.At(0, tick)
+	e.RunUntil(95)
+	if count != 10 { // fires at 0,10,...,90
+		t.Fatalf("tick count = %d, want 10", count)
+	}
+	if e.Now() != 95 {
+		t.Fatalf("clock after RunUntil(95) = %v", e.Now())
+	}
+	// Continue: next tick at 100 still pending.
+	e.RunUntil(100)
+	if count != 11 {
+		t.Fatalf("tick count after second RunUntil = %d, want 11", count)
+	}
+}
+
+func TestRunUntilSkipsCancelled(t *testing.T) {
+	e := New(1)
+	ev := e.At(10, func() { t.Fatal("should not fire") })
+	e.Cancel(ev)
+	e.RunUntil(20)
+	if e.Now() != 20 {
+		t.Fatalf("clock = %v, want 20", e.Now())
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := New(1)
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+	if e.Processed() != 5 {
+		t.Fatalf("Processed = %d, want 5", e.Processed())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		e := New(seed)
+		var out []int64
+		var step func()
+		step = func() {
+			out = append(out, int64(e.Now()))
+			if len(out) < 50 {
+				e.After(Time(e.Rand().Intn(100)+1), step)
+			}
+		}
+		e.At(0, step)
+		e.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("runs differ in length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any batch of events with arbitrary times, execution order is
+// sorted by time, FIFO within the same time.
+func TestPropertyOrdering(t *testing.T) {
+	f := func(times []uint16) bool {
+		if len(times) > 200 {
+			times = times[:200]
+		}
+		e := New(7)
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var got []rec
+		for i, tt := range times {
+			i, at := i, Time(tt)
+			e.At(at, func() { got = append(got, rec{at, i}) })
+		}
+		e.Run()
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return len(got) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEventScheduleFire(b *testing.B) {
+	e := New(1)
+	var fn func()
+	n := 0
+	fn = func() {
+		n++
+		if n < b.N {
+			e.After(10, fn)
+		}
+	}
+	e.At(0, fn)
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkEventCancel(b *testing.B) {
+	e := New(1)
+	for i := 0; i < b.N; i++ {
+		ev := e.After(1000, func() {})
+		e.Cancel(ev)
+	}
+	e.Run()
+}

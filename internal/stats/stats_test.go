@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("Mean wrong")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty Min/Max != 0")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if Stddev([]float64{5}) != 0 {
+		t.Fatal("single sample stddev != 0")
+	}
+	// Known: sample stddev of {2,4,4,4,5,5,7,9} = 2.138...
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.13809) > 1e-4 {
+		t.Fatalf("Stddev = %v", got)
+	}
+}
+
+func TestMedianPercentile(t *testing.T) {
+	if !almost(Median([]float64{1, 3, 2}), 2) {
+		t.Fatal("odd median")
+	}
+	if !almost(Median([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("even median")
+	}
+	xs := []float64{10, 20, 30, 40, 50}
+	if !almost(Percentile(xs, 0), 10) || !almost(Percentile(xs, 100), 50) {
+		t.Fatal("percentile extremes")
+	}
+	if !almost(Percentile(xs, 25), 20) {
+		t.Fatalf("P25 = %v", Percentile(xs, 25))
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if !almost(Speedup(1040, 38), 27.368421052631579) {
+		t.Fatal("speedup") // lu's Table 1 row
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Fatal("divide by zero speedup should be +Inf")
+	}
+}
+
+func TestPercentChange(t *testing.T) {
+	// Table 2: 55.9s -> 43.3s is -22.5%.
+	got := PercentChange(55.9, 43.3)
+	if math.Abs(got-(-22.54)) > 0.1 {
+		t.Fatalf("PercentChange = %v", got)
+	}
+	if PercentChange(0, 5) != 0 {
+		t.Fatal("zero baseline should yield 0")
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := map[float64]string{
+		1.234:  "1.23s",
+		55.9:   "55.9s",
+		542.91: "543s",
+	}
+	for in, want := range cases {
+		if got := FormatSeconds(in); got != want {
+			t.Errorf("FormatSeconds(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMeanBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

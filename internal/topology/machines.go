@@ -1,0 +1,129 @@
+package topology
+
+// Bulldozer8 models the paper's experimental machine (Table 5, Figure 4):
+// eight 8-core AMD Opteron 6272 NUMA nodes (64 cores total), SMT-style
+// pairs of cores sharing functional units, connected by an asymmetric
+// HyperTransport fabric.
+//
+// The adjacency below satisfies every structural constraint the paper
+// states about the machine:
+//
+//   - the nodes one hop from Node 0 are {1, 2, 4, 6}  (§3.2),
+//   - the nodes one hop from Node 3 are {1, 2, 4, 5, 7}  (§3.2),
+//   - Nodes 1 and 2 are two hops apart  (§3.2),
+//   - every node reaches every other within two hops,
+//
+// which in turn makes the buggy machine-level scheduling groups exactly the
+// pair the paper derives: {0,1,2,4,6} and {1,2,3,4,5,7}.
+func Bulldozer8() *Topology {
+	t, err := New(Spec{
+		Name:         "AMD-Bulldozer-64",
+		NumNodes:     8,
+		CoresPerNode: 8,
+		SMT:          true,
+		Adjacency: [][2]NodeID{
+			{0, 1}, {0, 2}, {0, 4}, {0, 6},
+			{3, 1}, {3, 2}, {3, 4}, {3, 5}, {3, 7},
+			{5, 6}, {5, 7}, {6, 7},
+		},
+		ClockGHz:     2.1,
+		MemoryGB:     512,
+		Interconnect: "HyperTransport 3.0",
+	})
+	if err != nil {
+		panic("topology: Bulldozer8 spec invalid: " + err.Error())
+	}
+	return t
+}
+
+// Machine32 models the machine of the paper's Figure 1: 32 cores, four
+// 8-core nodes, SMT pairs. Node 0 has two one-hop neighbors (so the
+// second-from-top scheduling domain covers three nodes) and all nodes are
+// reachable in two hops.
+func Machine32() *Topology {
+	t, err := New(Spec{
+		Name:         "Figure1-32",
+		NumNodes:     4,
+		CoresPerNode: 8,
+		SMT:          true,
+		Adjacency:    [][2]NodeID{{0, 1}, {0, 2}, {3, 1}, {3, 2}},
+	})
+	if err != nil {
+		panic("topology: Machine32 spec invalid: " + err.Error())
+	}
+	return t
+}
+
+// SMP returns a single-node machine with n cores and no SMT — the simple
+// multicore of §2.2's dual-core examples, useful for unit tests.
+func SMP(n int) *Topology {
+	t, err := New(Spec{Name: "SMP", NumNodes: 1, CoresPerNode: n})
+	if err != nil {
+		panic("topology: SMP spec invalid: " + err.Error())
+	}
+	return t
+}
+
+// TwoNode returns a two-node machine with coresPerNode cores on each node,
+// one hop apart, no SMT.
+func TwoNode(coresPerNode int) *Topology {
+	t, err := New(Spec{
+		Name:         "TwoNode",
+		NumNodes:     2,
+		CoresPerNode: coresPerNode,
+		Adjacency:    [][2]NodeID{{0, 1}},
+	})
+	if err != nil {
+		panic("topology: TwoNode spec invalid: " + err.Error())
+	}
+	return t
+}
+
+// Grid returns a rows x cols mesh of NUMA nodes (each connected to its
+// orthogonal neighbours) with coresPerNode cores per node. Grids have
+// diameter rows+cols-2, producing the deep multi-level NUMA hierarchies
+// ("nodes 1 hop apart, nodes 2 hops apart, etc.", §3.2) that stress the
+// group-construction code.
+func Grid(rows, cols, coresPerNode int) *Topology {
+	var adj [][2]NodeID
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				adj = append(adj, [2]NodeID{id(r, c), id(r, c+1)})
+			}
+			if r+1 < rows {
+				adj = append(adj, [2]NodeID{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	t, err := New(Spec{
+		Name:         "Grid",
+		NumNodes:     rows * cols,
+		CoresPerNode: coresPerNode,
+		Adjacency:    adj,
+	})
+	if err != nil {
+		panic("topology: Grid spec invalid: " + err.Error())
+	}
+	return t
+}
+
+// Ring returns an n-node ring with coresPerNode cores per node — handy for
+// exercising deeper NUMA hierarchies (diameter n/2) in tests.
+func Ring(nodes, coresPerNode int) *Topology {
+	adj := make([][2]NodeID, 0, nodes)
+	for i := 0; i < nodes; i++ {
+		adj = append(adj, [2]NodeID{NodeID(i), NodeID((i + 1) % nodes)})
+	}
+	t, err := New(Spec{
+		Name:         "Ring",
+		NumNodes:     nodes,
+		CoresPerNode: coresPerNode,
+		Adjacency:    adj,
+	})
+	if err != nil {
+		panic("topology: Ring spec invalid: " + err.Error())
+	}
+	return t
+}

@@ -1,0 +1,193 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func nodesEqual(a []NodeID, b ...NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBulldozer8PaperConstraints(t *testing.T) {
+	topo := Bulldozer8()
+	if topo.NumCores() != 64 || topo.NumNodes() != 8 || topo.CoresPerNode() != 8 {
+		t.Fatalf("shape: %d cores, %d nodes", topo.NumCores(), topo.NumNodes())
+	}
+	// §3.2: one-hop neighborhoods of nodes 0 and 3.
+	if got := topo.Neighbors(0); !nodesEqual(got, 1, 2, 4, 6) {
+		t.Fatalf("neighbors of node 0 = %v, want [1 2 4 6]", got)
+	}
+	if got := topo.Neighbors(3); !nodesEqual(got, 1, 2, 4, 5, 7) {
+		t.Fatalf("neighbors of node 3 = %v, want [1 2 4 5 7]", got)
+	}
+	// §3.2: nodes 1 and 2 are two hops apart.
+	if topo.Hops(1, 2) != 2 {
+		t.Fatalf("hops(1,2) = %d, want 2", topo.Hops(1, 2))
+	}
+	// Diameter 2: all nodes reachable in two hops.
+	if topo.MaxHops() != 2 {
+		t.Fatalf("diameter = %d, want 2", topo.MaxHops())
+	}
+}
+
+func TestBulldozer8SMT(t *testing.T) {
+	topo := Bulldozer8()
+	if !topo.HasSMT() {
+		t.Fatal("expected SMT")
+	}
+	for c := CoreID(0); c < CoreID(topo.NumCores()); c++ {
+		s, ok := topo.SMTSibling(c)
+		if !ok {
+			t.Fatalf("core %d has no sibling", c)
+		}
+		back, _ := topo.SMTSibling(s)
+		if back != c {
+			t.Fatalf("sibling not symmetric: %d -> %d -> %d", c, s, back)
+		}
+		if topo.NodeOf(c) != topo.NodeOf(s) {
+			t.Fatalf("siblings %d,%d on different nodes", c, s)
+		}
+	}
+}
+
+func TestHopMatrixSymmetric(t *testing.T) {
+	for _, topo := range []*Topology{Bulldozer8(), Machine32(), Ring(6, 2)} {
+		for i := 0; i < topo.NumNodes(); i++ {
+			if topo.Hops(NodeID(i), NodeID(i)) != 0 {
+				t.Fatalf("%s: hops(%d,%d) != 0", topo.Name(), i, i)
+			}
+			for j := 0; j < topo.NumNodes(); j++ {
+				a := topo.Hops(NodeID(i), NodeID(j))
+				b := topo.Hops(NodeID(j), NodeID(i))
+				if a != b {
+					t.Fatalf("%s: asymmetric hops(%d,%d): %d vs %d", topo.Name(), i, j, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestMachine32Figure1(t *testing.T) {
+	topo := Machine32()
+	if topo.NumCores() != 32 || topo.NumNodes() != 4 {
+		t.Fatalf("shape: %d cores, %d nodes", topo.NumCores(), topo.NumNodes())
+	}
+	// Figure 1: three nodes reachable from node 0 within one hop
+	// (including itself), all four within two.
+	if got := topo.NodesWithin(0, 1); !nodesEqual(got, 0, 1, 2) {
+		t.Fatalf("NodesWithin(0,1) = %v, want [0 1 2]", got)
+	}
+	if got := topo.NodesWithin(0, 2); !nodesEqual(got, 0, 1, 2, 3) {
+		t.Fatalf("NodesWithin(0,2) = %v", got)
+	}
+}
+
+func TestCoresWithin(t *testing.T) {
+	topo := TwoNode(4)
+	got := topo.CoresWithin(0, 0)
+	if len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Fatalf("CoresWithin(0,0) = %v", got)
+	}
+	got = topo.CoresWithin(0, 1)
+	if len(got) != 8 || got[7] != 7 {
+		t.Fatalf("CoresWithin(0,1) = %v", got)
+	}
+}
+
+func TestNodeOfCoresOf(t *testing.T) {
+	topo := Bulldozer8()
+	for n := NodeID(0); n < NodeID(topo.NumNodes()); n++ {
+		cores := topo.CoresOfNode(n)
+		if len(cores) != 8 {
+			t.Fatalf("node %d has %d cores", n, len(cores))
+		}
+		for _, c := range cores {
+			if topo.NodeOf(c) != n {
+				t.Fatalf("core %d mapped to node %d, listed under %d", c, topo.NodeOf(c), n)
+			}
+		}
+	}
+}
+
+func TestSMPNoSiblings(t *testing.T) {
+	topo := SMP(4)
+	if topo.HasSMT() {
+		t.Fatal("SMP should not have SMT")
+	}
+	if _, ok := topo.SMTSibling(0); ok {
+		t.Fatal("SMP core has sibling")
+	}
+	if topo.MaxHops() != 0 {
+		t.Fatal("single node should have diameter 0")
+	}
+}
+
+func TestRing(t *testing.T) {
+	topo := Ring(6, 2)
+	if topo.MaxHops() != 3 {
+		t.Fatalf("ring-6 diameter = %d, want 3", topo.MaxHops())
+	}
+	if got := topo.Neighbors(0); !nodesEqual(got, 1, 5) {
+		t.Fatalf("ring neighbors of 0 = %v", got)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(Spec{NumNodes: 0, CoresPerNode: 1}); err == nil {
+		t.Fatal("want error for 0 nodes")
+	}
+	if _, err := New(Spec{NumNodes: 1, CoresPerNode: 3, SMT: true}); err == nil {
+		t.Fatal("want error for odd SMT cores")
+	}
+	if _, err := New(Spec{NumNodes: 2, CoresPerNode: 1}); err == nil {
+		t.Fatal("want error for disconnected graph")
+	}
+	if _, err := New(Spec{NumNodes: 2, CoresPerNode: 1, Adjacency: [][2]NodeID{{0, 5}}}); err == nil {
+		t.Fatal("want error for out-of-range edge")
+	}
+	if _, err := New(Spec{NumNodes: 2, CoresPerNode: 1, Adjacency: [][2]NodeID{{1, 1}}}); err == nil {
+		t.Fatal("want error for self edge")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := Bulldozer8().String()
+	for _, want := range []string{"64 cores", "8 NUMA nodes", "SMT", "2.1 GHz", "512 GB", "HyperTransport"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(Bulldozer8().HopMatrix(), "N7") {
+		t.Error("hop matrix missing node 7")
+	}
+	if strings.Contains(SMP(2).String(), "hop matrix") {
+		t.Error("single-node machine should not render hop matrix")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	topo := Grid(3, 3, 2)
+	if topo.NumNodes() != 9 || topo.NumCores() != 18 {
+		t.Fatalf("shape: %d nodes, %d cores", topo.NumNodes(), topo.NumCores())
+	}
+	// Diameter of a 3x3 mesh is 4 (corner to corner).
+	if topo.MaxHops() != 4 {
+		t.Fatalf("diameter = %d, want 4", topo.MaxHops())
+	}
+	// Center node (4) has 4 neighbors; corner (0) has 2.
+	if got := len(topo.Neighbors(4)); got != 4 {
+		t.Fatalf("center degree = %d", got)
+	}
+	if got := len(topo.Neighbors(0)); got != 2 {
+		t.Fatalf("corner degree = %d", got)
+	}
+}

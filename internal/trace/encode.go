@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Binary trace file format: a magic header followed by fixed-width
+// little-endian event records. This mirrors the kernel module from §4.2
+// that dumps the in-memory global array to a file for offline plotting.
+const (
+	fileMagic   = "WCTR"
+	fileVersion = uint16(1)
+	recordSize  = 8 + 1 + 1 + 2 + 4 + 8 + 8 + 16 // = 48 bytes
+)
+
+// WriteTo serializes all recorded events to w in the binary trace format.
+// It returns the number of bytes written.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	hdr := make([]byte, 0, 16)
+	hdr = append(hdr, fileMagic...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, fileVersion)
+	hdr = binary.LittleEndian.AppendUint16(hdr, 0) // reserved
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(r.events)))
+	k, err := bw.Write(hdr)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	buf := make([]byte, 0, recordSize)
+	for i := range r.events {
+		ev := &r.events[i]
+		buf = buf[:0]
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(ev.At))
+		buf = append(buf, byte(ev.Kind), byte(ev.Op), ev.Code, 0)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ev.CPU))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(ev.Arg))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(ev.Aux))
+		buf = binary.LittleEndian.AppendUint64(buf, ev.Mask[0])
+		buf = binary.LittleEndian.AppendUint64(buf, ev.Mask[1])
+		k, err = bw.Write(buf)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read parses a binary trace previously produced by WriteTo.
+func Read(rd io.Reader) ([]Event, error) {
+	br := bufio.NewReader(rd)
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[:4]) != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != fileVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:16])
+	const sane = 1 << 28
+	if count > sane {
+		return nil, fmt.Errorf("trace: implausible event count %d", count)
+	}
+	events := make([]Event, 0, count)
+	buf := make([]byte, recordSize)
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("trace: reading event %d: %w", i, err)
+		}
+		var ev Event
+		ev.At = sim.Time(binary.LittleEndian.Uint64(buf[0:8]))
+		ev.Kind = Kind(buf[8])
+		ev.Op = Op(buf[9])
+		ev.Code = buf[10]
+		ev.CPU = int32(binary.LittleEndian.Uint32(buf[12:16]))
+		ev.Arg = int64(binary.LittleEndian.Uint64(buf[16:24]))
+		ev.Aux = int64(binary.LittleEndian.Uint64(buf[24:32]))
+		ev.Mask[0] = binary.LittleEndian.Uint64(buf[32:40])
+		ev.Mask[1] = binary.LittleEndian.Uint64(buf[40:48])
+		events = append(events, ev)
+	}
+	return events, nil
+}

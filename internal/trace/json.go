@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// jsonEvent is the line format of WriteJSON: one object per line
+// (JSON Lines), with zero-valued fields omitted to keep files small.
+type jsonEvent struct {
+	At   int64    `json:"at"`
+	Kind string   `json:"kind"`
+	Op   string   `json:"op,omitempty"`
+	Code uint8    `json:"code,omitempty"`
+	CPU  int32    `json:"cpu"`
+	Arg  int64    `json:"arg,omitempty"`
+	Aux  int64    `json:"aux,omitempty"`
+	Mask []uint64 `json:"mask,omitempty"`
+}
+
+// WriteJSON serializes the recorded events as JSON Lines — one event per
+// line — for consumption by external plotting tools (the paper's own
+// pipeline dumped the kernel buffer for offline scripts to plot).
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range r.events {
+		ev := &r.events[i]
+		je := jsonEvent{
+			At:   int64(ev.At),
+			Kind: ev.Kind.String(),
+			CPU:  ev.CPU,
+			Arg:  ev.Arg,
+			Aux:  ev.Aux,
+			Code: ev.Code,
+		}
+		if ev.Op != OpNone {
+			je.Op = ev.Op.String()
+		}
+		if ev.Mask != (Mask{}) {
+			je.Mask = []uint64{ev.Mask[0], ev.Mask[1]}
+		}
+		if err := enc.Encode(&je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

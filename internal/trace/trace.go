@@ -1,0 +1,253 @@
+// Package trace implements the recording substrate of the paper's
+// visualization tool (§4.2).
+//
+// The kernel instrumentation described in the paper stores fixed-size
+// events in "a large global array in memory of a static size": every change
+// to a runqueue's size (add_nr_running / sub_nr_running), every change to a
+// runqueue's load (account_entity_enqueue / dequeue), and the set of cores
+// considered by each load-balancing or thread-wakeup decision
+// (select_idle_sibling, update_sg_lb_stats, find_busiest_queue,
+// find_idlest_group). This package mirrors that design: a Recorder with a
+// fixed capacity, compact events, and no sampling — every change is
+// recorded while the recorder is active.
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/sim"
+)
+
+// Kind discriminates event types, matching the three instrumentation
+// families of §4.2 plus migrations (used by the sanity checker's monitoring
+// phase, §4.1).
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindRQSize records a change in a runqueue's size (nr_running).
+	KindRQSize Kind = iota
+	// KindRQLoad records a change in a runqueue's load.
+	KindRQLoad
+	// KindConsidered records the set of cores examined by a load-balancing
+	// or wakeup decision.
+	KindConsidered
+	// KindMigration records a thread moving between cores.
+	KindMigration
+	// KindFork records thread creation, KindExit thread exit. Both are
+	// tracked by the sanity checker's monitoring phase.
+	KindFork
+	// KindExit records a thread exiting.
+	KindExit
+	// KindBalance records the outcome of one load-balancing decision with
+	// the comparison values it used — the §4.1 profiling that exposed the
+	// Group Imbalance bug ("we used these profiles to understand how the
+	// load-balancing functions were executed and why they failed to
+	// balance the load"). Arg carries the local group's metric, Aux the
+	// busiest group's (-1 when no busiest was found), Code the Verdict,
+	// and Mask the busiest group's cores.
+	KindBalance
+)
+
+// String names the event kind.
+func (k Kind) String() string {
+	switch k {
+	case KindRQSize:
+		return "rq-size"
+	case KindRQLoad:
+		return "rq-load"
+	case KindConsidered:
+		return "considered"
+	case KindMigration:
+		return "migration"
+	case KindFork:
+		return "fork"
+	case KindExit:
+		return "exit"
+	case KindBalance:
+		return "balance"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Verdict is the outcome of a load-balancing decision (KindBalance).
+type Verdict uint8
+
+// Balance verdicts.
+const (
+	// VerdictMoved: threads were migrated toward the balancing core.
+	VerdictMoved Verdict = iota
+	// VerdictBalanced: the busiest group's metric did not exceed the
+	// local group's (Algorithm 1 lines 15-16) — the verdict the Group
+	// Imbalance bug produces while cores sit idle.
+	VerdictBalanced
+	// VerdictNoBusiest: no group had stealable queued threads.
+	VerdictNoBusiest
+	// VerdictPinned: stealing failed because of tasksets.
+	VerdictPinned
+	// VerdictHot: stealing skipped cache-hot threads and moved nothing.
+	VerdictHot
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictMoved:
+		return "moved"
+	case VerdictBalanced:
+		return "balanced"
+	case VerdictNoBusiest:
+		return "no-busiest"
+	case VerdictPinned:
+		return "pinned"
+	case VerdictHot:
+		return "cache-hot"
+	default:
+		return fmt.Sprintf("verdict(%d)", uint8(v))
+	}
+}
+
+// Op identifies which scheduler decision produced a KindConsidered event.
+type Op uint8
+
+// Considered-cores operations.
+const (
+	OpNone Op = iota
+	// OpPeriodicBalance is the periodic load balancer (Algorithm 1).
+	OpPeriodicBalance
+	// OpNewIdleBalance is the "emergency" balance a core runs when it is
+	// about to go idle.
+	OpNewIdleBalance
+	// OpNohzBalance is a balance run by the NOHZ balancer core on behalf
+	// of a tickless idle core.
+	OpNohzBalance
+	// OpWakeup is thread-wakeup core selection (select_task_rq_fair).
+	OpWakeup
+	// OpFork is new-thread placement.
+	OpFork
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpNone:
+		return "none"
+	case OpPeriodicBalance:
+		return "periodic"
+	case OpNewIdleBalance:
+		return "newidle"
+	case OpNohzBalance:
+		return "nohz"
+	case OpWakeup:
+		return "wakeup"
+	case OpFork:
+		return "fork"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Mask is a bitset over cores, sized for machines up to 128 logical CPUs
+// (the paper's machine has 64).
+type Mask [2]uint64
+
+// Set sets bit c.
+func (m *Mask) Set(c int) { m[c>>6] |= 1 << (c & 63) }
+
+// Has reports whether bit c is set.
+func (m Mask) Has(c int) bool { return m[c>>6]&(1<<(c&63)) != 0 }
+
+// Count returns the number of set bits.
+func (m Mask) Count() int { return bits.OnesCount64(m[0]) + bits.OnesCount64(m[1]) }
+
+// Event is one recorded scheduler event. The kernel version of this
+// structure is 20 bytes; ours is close (32 with alignment), and like the
+// kernel's it is fixed-size so the recorder can preallocate its buffer.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	Op   Op
+	Code uint8 // Verdict for KindBalance
+	CPU  int32 // core the event concerns
+	Arg  int64 // rq size, load, thread id, or local metric depending on Kind
+	Aux  int64 // destination cpu, waker tid, or busiest metric
+	Mask Mask  // considered cores / busiest group span
+}
+
+// Recorder accumulates events in a preallocated array. It starts inactive;
+// events are dropped (counted) once capacity is reached, mirroring the
+// kernel tool's static buffer.
+type Recorder struct {
+	events  []Event
+	cap     int
+	active  bool
+	dropped uint64
+}
+
+// NewRecorder returns a Recorder with room for capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1 << 20
+	}
+	return &Recorder{events: make([]Event, 0, capacity), cap: capacity}
+}
+
+// Start begins recording ("start a profiling session on demand", §4.2).
+func (r *Recorder) Start() { r.active = true }
+
+// Stop ends recording.
+func (r *Recorder) Stop() { r.active = false }
+
+// Active reports whether events are being recorded.
+func (r *Recorder) Active() bool { return r.active }
+
+// Reset discards all recorded events and the drop count.
+func (r *Recorder) Reset() {
+	r.events = r.events[:0]
+	r.dropped = 0
+}
+
+// Record appends ev if the recorder is active and has capacity.
+func (r *Recorder) Record(ev Event) {
+	if !r.active {
+		return
+	}
+	if len(r.events) >= r.cap {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Dropped reports how many events were lost to the capacity limit.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Events returns the recorded events. The slice aliases internal storage
+// and must not be modified.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Filter returns the events matching keep, in order.
+func (r *Recorder) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, ev := range r.events {
+		if keep(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// ByKind returns events of kind k.
+func (r *Recorder) ByKind(k Kind) []Event {
+	return r.Filter(func(ev Event) bool { return ev.Kind == k })
+}
+
+// Between returns events with from <= At < to.
+func (r *Recorder) Between(from, to sim.Time) []Event {
+	return r.Filter(func(ev Event) bool { return ev.At >= from && ev.At < to })
+}

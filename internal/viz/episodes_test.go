@@ -1,0 +1,85 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestEpisodesBasic(t *testing.T) {
+	// 2 cores. cpu0 gets 2 threads at t=10 (cpu1 idle -> violation);
+	// at t=30 cpu1 gets one of them (recovered); at t=50 cpu1 goes to 2
+	// with cpu0 dropping to 0 (violation again) until t=60.
+	events := []trace.Event{
+		sizeEvent(0, 0, 1), sizeEvent(0, 1, 0), // snapshot
+		sizeEvent(10, 0, 2),
+		sizeEvent(30, 0, 1), sizeEvent(30, 1, 1),
+		sizeEvent(50, 1, 2), sizeEvent(50, 0, 0),
+		sizeEvent(60, 0, 1), sizeEvent(60, 1, 1),
+	}
+	eps := Episodes(events, 2, 0, 100)
+	if len(eps) != 2 {
+		t.Fatalf("episodes = %d, want 2: %+v", len(eps), eps)
+	}
+	if eps[0].Start != 10 || eps[0].End != 30 {
+		t.Fatalf("episode 0 = %+v", eps[0])
+	}
+	if eps[1].Start != 50 || eps[1].End != 60 {
+		t.Fatalf("episode 1 = %+v", eps[1])
+	}
+}
+
+func TestEpisodesOpenAtWindowEnd(t *testing.T) {
+	events := []trace.Event{
+		sizeEvent(0, 0, 2), sizeEvent(0, 1, 0),
+	}
+	eps := Episodes(events, 2, 0, 100)
+	if len(eps) != 1 || eps[0].End != 100 {
+		t.Fatalf("open episode not closed at window end: %+v", eps)
+	}
+}
+
+func TestEpisodesNoViolation(t *testing.T) {
+	events := []trace.Event{
+		sizeEvent(0, 0, 1), sizeEvent(0, 1, 1),
+		sizeEvent(20, 0, 2), sizeEvent(20, 1, 2), // both busy: no idle core
+	}
+	if eps := Episodes(events, 2, 0, 100); len(eps) != 0 {
+		t.Fatalf("unexpected episodes: %+v", eps)
+	}
+}
+
+func TestAnalyzeEpisodes(t *testing.T) {
+	eps := []Episode{
+		{Start: 0, End: 10 * sim.Millisecond},
+		{Start: 20 * sim.Millisecond, End: 50 * sim.Millisecond},
+	}
+	s := AnalyzeEpisodes(eps, 100*sim.Millisecond)
+	if s.Count != 2 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Total != 40*sim.Millisecond || s.Max != 30*sim.Millisecond {
+		t.Fatalf("total=%v max=%v", s.Total, s.Max)
+	}
+	if s.Mean != 20*sim.Millisecond {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.WindowShare < 0.39 || s.WindowShare > 0.41 {
+		t.Fatalf("share = %v", s.WindowShare)
+	}
+	if !strings.Contains(s.String(), "episodes: 2") {
+		t.Fatalf("render: %s", s)
+	}
+}
+
+func TestAnalyzeEpisodesEmpty(t *testing.T) {
+	s := AnalyzeEpisodes(nil, sim.Second)
+	if s.Count != 0 || s.Total != 0 || s.WindowShare != 0 {
+		t.Fatalf("empty stats: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty stats should still render")
+	}
+}

@@ -1,0 +1,270 @@
+// Package viz implements the paper's second tool (§4.2): visualization of
+// scheduler activity from recorded traces. It renders the three plots the
+// paper relies on —
+//
+//   - heatmaps of per-core runqueue size over time (Figures 2a, 2c, 3, 5),
+//   - heatmaps of per-core runqueue load over time (Figure 2b),
+//   - the set of cores considered by load balancing and wakeups (Figure 5)
+//
+// — as ASCII charts for terminals and SVG for files. Values are
+// time-weighted within each column, not sampled: like the paper's tool,
+// the trace records every change, so the renderer can reconstruct exact
+// occupancy.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Heatmap is a cores x time matrix of intensities.
+type Heatmap struct {
+	Title  string
+	Values [][]float64 // [row=core][col=time bucket]
+	T0, T1 sim.Time
+	// RowGroup optionally maps a row to a group label (NUMA node), used
+	// to draw separators.
+	RowGroup func(row int) int
+}
+
+// NumRows returns the number of rows (cores).
+func (h *Heatmap) NumRows() int { return len(h.Values) }
+
+// NumCols returns the number of time buckets.
+func (h *Heatmap) NumCols() int {
+	if len(h.Values) == 0 {
+		return 0
+	}
+	return len(h.Values[0])
+}
+
+// Max returns the largest value in the map.
+func (h *Heatmap) Max() float64 {
+	max := 0.0
+	for _, row := range h.Values {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// buildSeries reconstructs the per-core time-weighted average of a traced
+// quantity across cols buckets. Events carry the new value at each change;
+// the value holds until the next event.
+func buildSeries(events []trace.Event, kind trace.Kind, ncores, cols int, t0, t1 sim.Time) [][]float64 {
+	vals := make([][]float64, ncores)
+	for i := range vals {
+		vals[i] = make([]float64, cols)
+	}
+	if t1 <= t0 || cols == 0 {
+		return vals
+	}
+	span := t1 - t0
+	cur := make([]float64, ncores)     // current value per core
+	lastAt := make([]sim.Time, ncores) // time of last change per core
+	for i := range lastAt {
+		lastAt[i] = t0
+	}
+	accumulate := func(core int, from, to sim.Time, v float64) {
+		if to <= from {
+			return
+		}
+		// Spread v over the buckets covered by [from, to).
+		startCol := int(int64(from-t0) * int64(cols) / int64(span))
+		endCol := int(int64(to-t0) * int64(cols) / int64(span))
+		if endCol >= cols {
+			endCol = cols - 1
+		}
+		for col := startCol; col <= endCol; col++ {
+			bs := t0 + sim.Time(int64(span)*int64(col)/int64(cols))
+			be := t0 + sim.Time(int64(span)*int64(col+1)/int64(cols))
+			lo, hi := from, to
+			if bs > lo {
+				lo = bs
+			}
+			if be < hi {
+				hi = be
+			}
+			if hi > lo && be > bs {
+				vals[core][col] += v * float64(hi-lo) / float64(be-bs)
+			}
+		}
+	}
+	for _, ev := range events {
+		if ev.Kind != kind || ev.At < t0 || ev.At >= t1 {
+			continue
+		}
+		core := int(ev.CPU)
+		if core < 0 || core >= ncores {
+			continue
+		}
+		accumulate(core, lastAt[core], ev.At, cur[core])
+		cur[core] = float64(ev.Arg)
+		lastAt[core] = ev.At
+	}
+	for core := 0; core < ncores; core++ {
+		accumulate(core, lastAt[core], t1, cur[core])
+	}
+	return vals
+}
+
+// RQSizeHeatmap builds the Figure 2a/2c/3 chart: "a heatmap colour-coding
+// the number of threads in each core's runqueue over time".
+func RQSizeHeatmap(events []trace.Event, ncores, cols int, t0, t1 sim.Time) *Heatmap {
+	return &Heatmap{
+		Title:  "runqueue size per core over time",
+		Values: buildSeries(events, trace.KindRQSize, ncores, cols, t0, t1),
+		T0:     t0, T1: t1,
+	}
+}
+
+// LoadHeatmap builds the Figure 2b chart: "the combined load of threads in
+// each core's runqueue".
+func LoadHeatmap(events []trace.Event, ncores, cols int, t0, t1 sim.Time) *Heatmap {
+	return &Heatmap{
+		Title:  "runqueue load per core over time",
+		Values: buildSeries(events, trace.KindRQLoad, ncores, cols, t0, t1),
+		T0:     t0, T1: t1,
+	}
+}
+
+// ramp maps intensity [0,1] to ASCII shades, white (space) for idle.
+const ramp = " .:-=+*#%@"
+
+// ASCII renders the heatmap as text, one row per core, one rune per time
+// bucket. maxVal scales the ramp; pass 0 to auto-scale.
+func (h *Heatmap) ASCII(maxVal float64) string {
+	if maxVal <= 0 {
+		maxVal = h.Max()
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [%v .. %v], max=%.1f\n", h.Title, h.T0, h.T1, maxVal)
+	prevGroup := -1
+	for row := range h.Values {
+		if h.RowGroup != nil {
+			if g := h.RowGroup(row); g != prevGroup {
+				if prevGroup != -1 {
+					b.WriteString(strings.Repeat("-", h.NumCols()+8) + "\n")
+				}
+				prevGroup = g
+			}
+		}
+		fmt.Fprintf(&b, "cpu%-3d |", row)
+		for _, v := range h.Values[row] {
+			idx := int(v / maxVal * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// SVG writes the heatmap as a standalone SVG with a white-to-red scale,
+// matching the paper's "the warmer the colour, the more threads a core
+// hosts; white corresponds to an idle core".
+func (h *Heatmap) SVG(w io.Writer) error {
+	const cell = 4
+	rows, cols := h.NumRows(), h.NumCols()
+	width, height := cols*cell+80, rows*cell+40
+	maxVal := h.Max()
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n",
+		width, height); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<text x="4" y="14" font-size="12">%s</text>`+"\n", h.Title)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := h.Values[r][c] / maxVal
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			// White -> yellow -> red ramp.
+			red := 255
+			green := 255 - int(v*170)
+			blue := 255 - int(v*255)
+			if v == 0 {
+				red, green, blue = 255, 255, 255
+			}
+			fmt.Fprintf(w,
+				`<rect x="%d" y="%d" width="%d" height="%d" fill="rgb(%d,%d,%d)"/>`+"\n",
+				60+c*cell, 20+r*cell, cell, cell, red, green, blue)
+		}
+		if r%8 == 0 {
+			fmt.Fprintf(w, `<text x="4" y="%d" font-size="9">cpu%d</text>`+"\n", 20+r*cell+cell, r)
+		}
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}
+
+// ConsideredChart renders the Figure 5 plot for one observer core: each
+// balancing event is a column; rows are cores; '|' marks a considered
+// core, '#' a considered core that was overloaded at the time. The paper
+// used this chart to show Core 0 examining only its own node after the
+// Missing Scheduling Domains bug.
+func ConsideredChart(events []trace.Event, observer int, ncores, maxEvents int) string {
+	var cols []trace.Event
+	for _, ev := range events {
+		if ev.Kind == trace.KindConsidered && int(ev.CPU) == observer {
+			cols = append(cols, ev)
+			if len(cols) >= maxEvents {
+				break
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cores considered by cpu %d during load balancing (%d events)\n", observer, len(cols))
+	for core := 0; core < ncores; core++ {
+		fmt.Fprintf(&b, "cpu%-3d |", core)
+		for _, ev := range cols {
+			if ev.Mask.Has(core) {
+				b.WriteByte('|')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// ConsideredCoverage returns, for an observer core, the union of cores it
+// considered across all recorded balancing operations — the quantitative
+// form of Figure 5 used in tests.
+func ConsideredCoverage(events []trace.Event, observer int, ncores int) []bool {
+	covered := make([]bool, ncores)
+	for _, ev := range events {
+		if ev.Kind != trace.KindConsidered || int(ev.CPU) != observer {
+			continue
+		}
+		for c := 0; c < ncores; c++ {
+			if ev.Mask.Has(c) {
+				covered[c] = true
+			}
+		}
+	}
+	return covered
+}

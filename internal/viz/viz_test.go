@@ -1,0 +1,164 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func sizeEvent(at sim.Time, cpu, n int) trace.Event {
+	return trace.Event{At: at, Kind: trace.KindRQSize, CPU: int32(cpu), Arg: int64(n)}
+}
+
+func TestRQSizeHeatmapTimeWeighting(t *testing.T) {
+	// cpu0: 2 threads for the first half, 0 for the second.
+	events := []trace.Event{
+		sizeEvent(0, 0, 2),
+		sizeEvent(50, 0, 0),
+	}
+	h := RQSizeHeatmap(events, 1, 2, 0, 100)
+	if h.NumRows() != 1 || h.NumCols() != 2 {
+		t.Fatalf("shape %dx%d", h.NumRows(), h.NumCols())
+	}
+	if h.Values[0][0] != 2 || h.Values[0][1] != 0 {
+		t.Fatalf("values = %v", h.Values[0])
+	}
+}
+
+func TestHeatmapPartialBucket(t *testing.T) {
+	// Value 4 for a quarter of the single bucket -> time-weighted 1.
+	events := []trace.Event{
+		sizeEvent(0, 0, 4),
+		sizeEvent(25, 0, 0),
+	}
+	h := RQSizeHeatmap(events, 1, 1, 0, 100)
+	if h.Values[0][0] != 1 {
+		t.Fatalf("value = %v, want 1 (time-weighted)", h.Values[0][0])
+	}
+}
+
+func TestHeatmapIgnoresOutOfRange(t *testing.T) {
+	events := []trace.Event{
+		sizeEvent(200, 0, 9),                             // after window
+		sizeEvent(50, 5, 9),                              // cpu out of range
+		{At: 50, Kind: trace.KindRQLoad, CPU: 0, Arg: 7}, // wrong kind
+	}
+	h := RQSizeHeatmap(events, 2, 4, 0, 100)
+	if h.Max() != 0 {
+		t.Fatalf("max = %v, want 0", h.Max())
+	}
+}
+
+func TestLoadHeatmap(t *testing.T) {
+	events := []trace.Event{
+		{At: 0, Kind: trace.KindRQLoad, CPU: 1, Arg: 1024},
+	}
+	h := LoadHeatmap(events, 2, 2, 0, 100)
+	if h.Values[1][0] != 1024 || h.Values[1][1] != 1024 {
+		t.Fatalf("load values = %v", h.Values[1])
+	}
+	if h.Values[0][0] != 0 {
+		t.Fatal("cpu0 should be 0")
+	}
+}
+
+func TestASCIIRendering(t *testing.T) {
+	events := []trace.Event{
+		sizeEvent(0, 0, 2),
+		sizeEvent(0, 1, 0),
+	}
+	h := RQSizeHeatmap(events, 2, 10, 0, 100)
+	out := h.ASCII(0)
+	if !strings.Contains(out, "cpu0") || !strings.Contains(out, "cpu1") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// cpu0 row full intensity, cpu1 row blank.
+	if !strings.Contains(lines[1], "@") {
+		t.Fatalf("cpu0 row should be hot: %q", lines[1])
+	}
+	if strings.ContainsAny(strings.TrimPrefix(lines[2], "cpu1   |"), "@#%") {
+		t.Fatalf("cpu1 row should be idle: %q", lines[2])
+	}
+}
+
+func TestASCIIGroupSeparators(t *testing.T) {
+	events := []trace.Event{sizeEvent(0, 0, 1)}
+	h := RQSizeHeatmap(events, 4, 4, 0, 100)
+	h.RowGroup = func(r int) int { return r / 2 }
+	out := h.ASCII(0)
+	if strings.Count(out, "----") == 0 {
+		t.Fatalf("missing node separators:\n%s", out)
+	}
+}
+
+func TestSVGOutput(t *testing.T) {
+	events := []trace.Event{sizeEvent(0, 0, 2), sizeEvent(0, 1, 0)}
+	h := RQSizeHeatmap(events, 2, 8, 0, 100)
+	var buf bytes.Buffer
+	if err := h.SVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<rect", "rgb(255,255,255)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+func consideredEvent(at sim.Time, cpu int, cores ...int) trace.Event {
+	var m trace.Mask
+	for _, c := range cores {
+		m.Set(c)
+	}
+	return trace.Event{At: at, Kind: trace.KindConsidered, Op: trace.OpPeriodicBalance, CPU: int32(cpu), Mask: m}
+}
+
+func TestConsideredChart(t *testing.T) {
+	events := []trace.Event{
+		consideredEvent(0, 0, 0, 1),
+		consideredEvent(4, 0, 0, 1, 2, 3),
+		consideredEvent(8, 1, 2, 3), // different observer: excluded
+	}
+	out := ConsideredChart(events, 0, 4, 100)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines:\n%s", out)
+	}
+	// cpu0 considered in both events.
+	if !strings.Contains(lines[1], "||") {
+		t.Fatalf("cpu0 row wrong: %q", lines[1])
+	}
+	// cpu3 considered only in the second event.
+	if !strings.Contains(lines[4], " |") {
+		t.Fatalf("cpu3 row wrong: %q", lines[4])
+	}
+}
+
+func TestConsideredCoverage(t *testing.T) {
+	events := []trace.Event{
+		consideredEvent(0, 0, 0, 1),
+		consideredEvent(4, 0, 1, 2),
+	}
+	cov := ConsideredCoverage(events, 0, 4)
+	want := []bool{true, true, true, false}
+	for i := range want {
+		if cov[i] != want[i] {
+			t.Fatalf("coverage = %v, want %v", cov, want)
+		}
+	}
+}
+
+func TestEmptyHeatmap(t *testing.T) {
+	h := RQSizeHeatmap(nil, 0, 0, 0, 0)
+	if h.NumRows() != 0 || h.NumCols() != 0 || h.Max() != 0 {
+		t.Fatal("empty heatmap misbehaves")
+	}
+	if out := h.ASCII(0); out == "" {
+		t.Fatal("ASCII of empty map should still render a header")
+	}
+}
