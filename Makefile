@@ -1,0 +1,32 @@
+# Build / verify targets. `make ci` is what every PR must keep green:
+# the race detector covers the campaign runner's worker pool.
+
+GO ?= go
+
+.PHONY: all build vet test race bench campaign ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass over every benchmark at minimal iterations; full runs use
+# `go test -bench=. -benchtime=...` directly.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+
+# The standard 30-scenario campaign at a fast scale, artifact to
+# campaign.json.
+campaign:
+	$(GO) run ./cmd/campaign -matrix default -scale 0.25 -out campaign.json
+
+ci: build vet race

@@ -9,6 +9,8 @@
 package schedsim_test
 
 import (
+	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -120,6 +122,32 @@ func BenchmarkFig5(b *testing.B) {
 			b.ReportMetric(float64(res.CoverageBug), "coverage_bug_cores")
 			b.ReportMetric(float64(res.CoverageFix), "coverage_fix_cores")
 		}
+	}
+}
+
+// BenchmarkCampaign measures the scenario-campaign runner's parallel
+// speedup: the smoke matrix executed with one worker versus one worker
+// per CPU. The artifacts are byte-identical either way (asserted in
+// internal/campaign's tests); this benchmark tracks the wall-clock win,
+// reporting scenarios/sec so BENCH_*.json records parallel throughput.
+func BenchmarkCampaign(b *testing.B) {
+	m := schedsim.DefaultCampaignMatrix()
+	m.Scale = 0.1
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var scenarios int
+			for i := 0; i < b.N; i++ {
+				c, err := schedsim.RunCampaign(m, schedsim.CampaignRunnerOpts{
+					Workers:  workers,
+					BaseSeed: 42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				scenarios = len(c.Results)
+			}
+			b.ReportMetric(float64(scenarios*b.N)/b.Elapsed().Seconds(), "scenarios/s")
+		})
 	}
 }
 

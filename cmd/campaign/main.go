@@ -1,0 +1,205 @@
+// Command campaign runs a scenario campaign: the cross-product of
+// topologies, workloads, scheduler configurations and seeds, executed on
+// a sharded worker pool, with the §4.1 sanity checker watching every
+// run. The aggregate JSON artifact is byte-identical for any -workers
+// value, so artifacts from different machines diff cleanly, and
+// -baseline compares a run against a previous artifact to catch
+// makespan or idle-while-overloaded regressions.
+//
+// Usage:
+//
+//	campaign [flags]
+//
+// Examples:
+//
+//	campaign -matrix default -scale 0.25 -out campaign.json
+//	campaign -matrix default -scale 0.25 -baseline campaign.json
+//	campaign -topos bulldozer8 -loads tpch,nas:lu -configs bugs,fixed -seeds 1,2
+//
+// Flags:
+//
+//	-matrix name     preset matrix: default (30 scenarios), smoke, full
+//	-topos csv       override topologies (see -list)
+//	-loads csv       override workloads
+//	-configs csv     override scheduler configs
+//	-seeds csv       override workload seeds
+//	-workers n       worker pool size (default GOMAXPROCS)
+//	-seed n          campaign base seed (default 42)
+//	-scale f         workload scale factor (default 1.0)
+//	-horizon s       per-scenario virtual-time bound in seconds (default 200)
+//	-trace           capture violation-window traces
+//	-out file        write the JSON artifact here ("-" for stdout)
+//	-baseline file   compare against a previous artifact; exit 1 on regression
+//	-tolerance pct   regression tolerance percent (default 2)
+//	-q               suppress the summary table
+//	-list            print builtin topologies/workloads/configs and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		matrixName = flag.String("matrix", "default", "preset matrix: default, smoke, full")
+		topos      = flag.String("topos", "", "comma-separated topology overrides")
+		loads      = flag.String("loads", "", "comma-separated workload overrides")
+		configs    = flag.String("configs", "", "comma-separated config overrides")
+		seeds      = flag.String("seeds", "", "comma-separated workload seed overrides")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		baseSeed   = flag.Int64("seed", 42, "campaign base seed")
+		scale      = flag.Float64("scale", 0, "workload scale factor (0 = preset default)")
+		horizon    = flag.Float64("horizon", 200, "per-scenario horizon in virtual seconds")
+		traceOn    = flag.Bool("trace", false, "capture violation-window traces")
+		out        = flag.String("out", "", "write JSON artifact to this file (\"-\" for stdout)")
+		baseline   = flag.String("baseline", "", "compare against this artifact")
+		tolerance  = flag.Float64("tolerance", 2, "regression tolerance percent")
+		quiet      = flag.Bool("q", false, "suppress the summary table")
+		list       = flag.Bool("list", false, "list builtin dimensions and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("topologies: %s\nworkloads:  %s (plus any nas:<app>)\nconfigs:    %s\nmatrices:   default, smoke, full\n",
+			campaign.TopologyNames(), campaign.WorkloadNames(), campaign.ConfigNames())
+		return
+	}
+
+	m, ok := campaign.MatrixByName(*matrixName)
+	if !ok {
+		fatalf("unknown matrix preset %q (want default, smoke or full)", *matrixName)
+	}
+	if err := applyOverrides(&m, *topos, *loads, *configs, *seeds); err != nil {
+		fatalf("%v", err)
+	}
+	if *scale > 0 {
+		m.Scale = *scale
+	}
+	if m.Scale == 0 {
+		m.Scale = 1
+	}
+	m.Horizon = sim.Time(*horizon * float64(sim.Second))
+
+	fmt.Fprintf(os.Stderr, "campaign: running %d scenarios on %d workers (base seed %d, scale %g)\n",
+		m.Size(), effectiveWorkers(*workers), *baseSeed, m.Scale)
+	c, err := campaign.Run(m, campaign.RunnerOpts{
+		Workers:  *workers,
+		BaseSeed: *baseSeed,
+		Trace:    *traceOn,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if !*quiet {
+		// Keep stdout clean for the artifact when it goes there too.
+		if *out == "-" {
+			fmt.Fprint(os.Stderr, c.FormatSummary())
+		} else {
+			fmt.Print(c.FormatSummary())
+		}
+	}
+	if *out != "" {
+		data, err := c.EncodeJSON()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *out == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatalf("%v", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "campaign: wrote %s (%d bytes)\n", *out, len(data))
+		}
+	}
+	if *baseline != "" {
+		base, err := campaign.Load(*baseline)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cmp := campaign.Compare(base, c, *tolerance)
+		fmt.Print(campaign.FormatComparison(cmp))
+		if !cmp.Clean() {
+			os.Exit(1)
+		}
+	}
+}
+
+// applyOverrides swaps matrix dimensions for the ones named on the
+// command line.
+func applyOverrides(m *campaign.Matrix, topos, loads, configs, seeds string) error {
+	if topos != "" {
+		m.Topologies = m.Topologies[:0]
+		for _, name := range splitCSV(topos) {
+			t, ok := campaign.TopologyByName(name)
+			if !ok {
+				return fmt.Errorf("unknown topology %q (have: %s)", name, campaign.TopologyNames())
+			}
+			m.Topologies = append(m.Topologies, t)
+		}
+	}
+	if loads != "" {
+		m.Workloads = m.Workloads[:0]
+		for _, name := range splitCSV(loads) {
+			w, ok := campaign.WorkloadByName(name)
+			if !ok {
+				return fmt.Errorf("unknown workload %q (have: %s, plus nas:<app>)", name, campaign.WorkloadNames())
+			}
+			m.Workloads = append(m.Workloads, w)
+		}
+	}
+	if configs != "" {
+		m.Configs = m.Configs[:0]
+		for _, name := range splitCSV(configs) {
+			c, ok := campaign.ConfigByName(name)
+			if !ok {
+				return fmt.Errorf("unknown config %q (have: %s)", name, campaign.ConfigNames())
+			}
+			m.Configs = append(m.Configs, c)
+		}
+	}
+	if seeds != "" {
+		m.Seeds = m.Seeds[:0]
+		for _, s := range splitCSV(seeds) {
+			n, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad seed %q: %v", s, err)
+			}
+			m.Seeds = append(m.Seeds, n)
+		}
+	}
+	return nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func effectiveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+func fatalf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	// Library errors already carry the package prefix.
+	msg = strings.TrimPrefix(msg, "campaign: ")
+	fmt.Fprintf(os.Stderr, "campaign: %s\n", msg)
+	os.Exit(1)
+}

@@ -1,0 +1,183 @@
+// Package campaign is the scenario-campaign runner: the execution layer
+// that turns the paper's one-off experiments into systematic sweeps.
+//
+// The paper's central lesson is that scheduler bugs hide in specific
+// corners of a large configuration space — a particular topology (nodes
+// two hops apart, §3.2), a particular workload mix (a database pool plus
+// sub-millisecond kernel noise, §3.3), a particular tunable (autogroups
+// on or off, §3.1) — and its authors had to build extra tooling to hunt
+// them across many runs. This package makes that hunt a first-class
+// operation:
+//
+//   - a Matrix declares the cross-product of topologies, workloads,
+//     scheduler configurations (bug-fix toggles, power policy, modular
+//     placement policies) and seeds to explore;
+//   - Run executes every scenario of the matrix on a pool of workers.
+//     Each scenario gets its own sim.Engine (the engine itself is
+//     single-threaded by design) seeded deterministically from
+//     (base seed, scenario key), so the aggregate artifact is
+//     byte-identical regardless of worker count or completion order;
+//   - every run is watched by the §4.1 sanity checker, and its
+//     wasted-core metrics (confirmed invariant violations, time spent
+//     idle-while-overloaded) are collected next to makespan and
+//     scheduler counters into a Result;
+//   - the sorted results form a Campaign artifact with a stable JSON
+//     encoding, and Compare diffs two artifacts to report per-scenario
+//     regressions in makespan or idle-while-overloaded time.
+//
+// The experiments package reuses the same worker pool (ForEach) so the
+// paper's tables run their independent machine builds in parallel too.
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Version identifies the artifact schema; bump on incompatible change.
+const Version = 1
+
+// Result is one scenario's collected metrics. All fields are derived
+// from virtual time and deterministic counters — never wall-clock — so
+// that artifacts are reproducible byte for byte.
+type Result struct {
+	// Key is the scenario's unique identity, "topology/workload/config/sN".
+	Key string `json:"key"`
+	// Topology, Workload, Config and Seed echo the scenario coordinates.
+	Topology string `json:"topology"`
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+	Seed     int64  `json:"seed"`
+	// EngineSeed is the seed actually fed to sim.New, derived from
+	// (campaign base seed, Key, Seed).
+	EngineSeed int64 `json:"engine_seed"`
+
+	// MakespanNs is the workload's completion time in virtual
+	// nanoseconds (or the horizon when it did not complete).
+	MakespanNs int64 `json:"makespan_ns"`
+	// Completed is false when the run hit the horizon.
+	Completed bool `json:"completed"`
+	// Events is the number of simulation events processed.
+	Events uint64 `json:"events"`
+
+	// Counters snapshots the scheduler's activity counters.
+	Counters sched.Counters `json:"counters"`
+
+	// Checker metrics (§4.1): invariant evaluations, candidate
+	// violations, transients that resolved within the monitoring window,
+	// and confirmed violations.
+	CheckerChecks     uint64 `json:"checker_checks"`
+	CheckerCandidates uint64 `json:"checker_candidates"`
+	CheckerTransients uint64 `json:"checker_transients"`
+	Violations        int    `json:"violations"`
+	// IdleWhileOverloadedNs sums the confirmed violation windows
+	// (DetectedAt..ConfirmedAt): virtual time during which a core
+	// provably sat idle while another was overloaded.
+	IdleWhileOverloadedNs int64 `json:"idle_while_overloaded_ns"`
+
+	// TraceEvents counts trace-recorder events captured around confirmed
+	// violations (zero unless RunnerOpts.Trace).
+	TraceEvents int `json:"trace_events"`
+
+	// Extra holds workload-specific metrics (e.g. TPC-H Q18 seconds,
+	// global-queue overhead fractions). JSON object keys are sorted, so
+	// the encoding stays stable.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Campaign is the aggregate artifact of one matrix run.
+type Campaign struct {
+	Version  int   `json:"version"`
+	BaseSeed int64 `json:"base_seed"`
+	// ScaleMilli is the workload scale in thousandths (an integer so the
+	// artifact never depends on float formatting of user input).
+	ScaleMilli int64 `json:"scale_milli"`
+	// HorizonNs is the per-scenario virtual-time bound.
+	HorizonNs int64 `json:"horizon_ns"`
+	// Results are sorted by Key — insertion order (and therefore worker
+	// scheduling) cannot leak into the artifact.
+	Results []Result `json:"results"`
+}
+
+// sortResults orders results by Key and asserts uniqueness.
+func (c *Campaign) sortResults() error {
+	sort.Slice(c.Results, func(i, j int) bool { return c.Results[i].Key < c.Results[j].Key })
+	for i := 1; i < len(c.Results); i++ {
+		if c.Results[i].Key == c.Results[i-1].Key {
+			return fmt.Errorf("campaign: duplicate scenario key %q", c.Results[i].Key)
+		}
+	}
+	return nil
+}
+
+// Result returns the result with the given key, or nil.
+func (c *Campaign) Result(key string) *Result {
+	for i := range c.Results {
+		if c.Results[i].Key == key {
+			return &c.Results[i]
+		}
+	}
+	return nil
+}
+
+// EncodeJSON renders the artifact as stable, indented JSON with a
+// trailing newline. Identical campaigns encode to identical bytes.
+func (c *Campaign) EncodeJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteFile writes the JSON artifact to path.
+func (c *Campaign) WriteFile(path string) error {
+	data, err := c.EncodeJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// FormatSummary renders the campaign as a human-readable table: one row
+// per scenario with its headline wasted-core metrics.
+func (c *Campaign) FormatSummary() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "campaign: %d scenarios (base seed %d, scale %.3g)\n\n",
+		len(c.Results), c.BaseSeed, float64(c.ScaleMilli)/1000)
+	fmt.Fprintf(&b, "%-44s %12s %10s %6s %12s\n",
+		"scenario", "makespan", "events", "viol", "idle-ovl")
+	for _, r := range c.Results {
+		makespan := sim.Time(r.MakespanNs).String()
+		if !r.Completed {
+			makespan = ">" + sim.Time(r.MakespanNs).String()
+		}
+		fmt.Fprintf(&b, "%-44s %12s %10d %6d %12s\n",
+			r.Key, makespan, r.Events, r.Violations, sim.Time(r.IdleWhileOverloadedNs))
+	}
+	return b.String()
+}
+
+// Load reads a campaign artifact written by WriteFile.
+func Load(path string) (*Campaign, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Campaign
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("campaign: parsing %s: %w", path, err)
+	}
+	if c.Version != Version {
+		return nil, fmt.Errorf("campaign: %s has artifact version %d, want %d", path, c.Version, Version)
+	}
+	return &c, nil
+}

@@ -1,0 +1,310 @@
+package campaign
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// testMatrix is a small but non-trivial matrix: two topologies, two
+// workload families (one machine-driven, one model-driven), two
+// configs.
+func testMatrix() Matrix {
+	m := SmokeMatrix()
+	m.Scale = 0.1
+	return m
+}
+
+func TestMatrixEnumeration(t *testing.T) {
+	m := testMatrix()
+	scs := m.Scenarios()
+	if len(scs) != m.Size() {
+		t.Fatalf("Scenarios() = %d, Size() = %d", len(scs), m.Size())
+	}
+	if m.Size() != 2*2*2 {
+		t.Fatalf("smoke matrix size = %d, want 8", m.Size())
+	}
+	keys := map[string]bool{}
+	for _, sc := range scs {
+		k := sc.Key()
+		if keys[k] {
+			t.Fatalf("duplicate key %q", k)
+		}
+		keys[k] = true
+	}
+}
+
+func TestDefaultMatrixMeetsFloor(t *testing.T) {
+	if n := DefaultMatrix().Size(); n < 24 {
+		t.Fatalf("default matrix has %d scenarios, want >= 24", n)
+	}
+}
+
+// TestDeterminismAcrossWorkers is the core guarantee: the artifact is
+// byte-identical for any worker count.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	m := testMatrix()
+	var artifacts [][]byte
+	for _, workers := range []int{1, 8} {
+		c, err := Run(m, RunnerOpts{Workers: workers, BaseSeed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := c.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		artifacts = append(artifacts, data)
+	}
+	if !bytes.Equal(artifacts[0], artifacts[1]) {
+		t.Fatalf("artifacts differ between workers=1 and workers=8:\n--- w1 ---\n%s\n--- w8 ---\n%s",
+			artifacts[0], artifacts[1])
+	}
+}
+
+// TestDeterminismAcrossOrder: shuffling the scenario list must not
+// change the artifact (results are keyed, seeds derive from keys).
+func TestDeterminismAcrossOrder(t *testing.T) {
+	m := testMatrix()
+	scs := m.Scenarios()
+	ordered, err := RunScenarios(scs, RunnerOpts{Workers: 4, BaseSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := append([]Scenario(nil), scs...)
+	rand.New(rand.NewSource(7)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	perm, err := RunScenarios(shuffled, RunnerOpts{Workers: 4, BaseSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := ordered.EncodeJSON()
+	b, _ := perm.EncodeJSON()
+	if !bytes.Equal(a, b) {
+		t.Fatal("artifact depends on scenario order")
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	s1 := DeriveSeed(42, "a/b/c/s1", 1)
+	if DeriveSeed(42, "a/b/c/s1", 1) != s1 {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	if DeriveSeed(43, "a/b/c/s1", 1) == s1 {
+		t.Fatal("DeriveSeed ignores base seed")
+	}
+	if DeriveSeed(42, "a/b/c/s2", 1) == s1 {
+		t.Fatal("DeriveSeed ignores key")
+	}
+	if DeriveSeed(42, "a/b/c/s1", 2) == s1 {
+		t.Fatal("DeriveSeed ignores scenario seed")
+	}
+}
+
+func TestBaseSeedChangesArtifact(t *testing.T) {
+	m := testMatrix()
+	c1, err := Run(m, RunnerOpts{Workers: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Run(m, RunnerOpts{Workers: 2, BaseSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c1.EncodeJSON()
+	b, _ := c2.EncodeJSON()
+	if bytes.Equal(a, b) {
+		t.Fatal("base seed does not reach the scenarios")
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	c, err := Run(testMatrix(), RunnerOpts{Workers: 4, BaseSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.EncodeJSON()
+	b, _ := loaded.EncodeJSON()
+	if !bytes.Equal(a, b) {
+		t.Fatal("artifact did not round-trip")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base, err := Run(testMatrix(), RunnerOpts{Workers: 4, BaseSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical campaigns: clean.
+	cur, err := Run(testMatrix(), RunnerOpts{Workers: 2, BaseSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := Compare(base, cur, 2)
+	if !cmp.Clean() || len(cmp.Improvements) != 0 {
+		t.Fatalf("identical campaigns not clean: %s", FormatComparison(cmp))
+	}
+	if cmp.Compared == 0 {
+		t.Fatal("nothing compared")
+	}
+
+	// Perturb one scenario's makespan by +50%: one regression.
+	perturbed := *cur
+	perturbed.Results = append([]Result(nil), cur.Results...)
+	perturbed.Results[0].MakespanNs = base.Results[0].MakespanNs * 3 / 2
+	cmp = Compare(base, &perturbed, 2)
+	if len(cmp.Regressions) != 1 {
+		t.Fatalf("want 1 regression, got %d:\n%s", len(cmp.Regressions), FormatComparison(cmp))
+	}
+	if cmp.Regressions[0].Key != perturbed.Results[0].Key || cmp.Regressions[0].Metric != "makespan_s" {
+		t.Fatalf("wrong regression: %+v", cmp.Regressions[0])
+	}
+
+	// A scenario that stops completing is always flagged.
+	perturbed.Results[0] = base.Results[0]
+	perturbed.Results[1].Completed = false
+	cmp = Compare(base, &perturbed, 2)
+	if len(cmp.NewlyIncomplete) != 1 || cmp.Clean() {
+		t.Fatalf("newly-incomplete not flagged:\n%s", FormatComparison(cmp))
+	}
+
+	// Missing and new keys are reported.
+	shrunk := *base
+	shrunk.Results = base.Results[1:]
+	cmp = Compare(base, &shrunk, 2)
+	if len(cmp.MissingKeys) != 1 {
+		t.Fatalf("missing key not reported:\n%s", FormatComparison(cmp))
+	}
+}
+
+func TestWorkloadByName(t *testing.T) {
+	for _, name := range []string{"make2r", "tpch", "globalq", "nas:lu", "nas:ep", "nas-pin:lu", "nas-pin:cg"} {
+		w, ok := WorkloadByName(name)
+		if !ok || w.Name != name {
+			t.Errorf("WorkloadByName(%q) = %q, %v", name, w.Name, ok)
+		}
+	}
+	for _, name := range []string{"nas:nope", "nas-pin:nope", "bogus"} {
+		if _, ok := WorkloadByName(name); ok {
+			t.Errorf("WorkloadByName(%q) unexpectedly ok", name)
+		}
+	}
+}
+
+func TestRegistryLookups(t *testing.T) {
+	if _, ok := TopologyByName("bulldozer8"); !ok {
+		t.Error("bulldozer8 missing")
+	}
+	if _, ok := ConfigByName("fixed"); !ok {
+		t.Error("fixed missing")
+	}
+	if _, ok := MatrixByName("default"); !ok {
+		t.Error("default matrix missing")
+	}
+	if _, ok := MatrixByName("nope"); ok {
+		t.Error("bogus matrix found")
+	}
+	cfg, _ := ConfigByName("modsched")
+	if len(cfg.Modules) == 0 {
+		t.Error("modsched config has no modules")
+	}
+}
+
+// TestBrokenNodePair checks the Table 1 emulation: on the Bulldozer
+// machine the buggy-group analysis must find the paper's pair, nodes 1
+// and 2 (the first broken pair in node order).
+func TestBrokenNodePair(t *testing.T) {
+	a, b, ok := brokenNodePair(topology.Bulldozer8())
+	if !ok || a != 1 || b != 2 {
+		t.Fatalf("bulldozer8 broken pair = (%d,%d,%v), want (1,2,true)", a, b, ok)
+	}
+	a, b, ok = brokenNodePair(topology.Machine32())
+	if !ok || a != 1 || b != 2 {
+		t.Fatalf("machine32 broken pair = (%d,%d,%v), want (1,2,true)", a, b, ok)
+	}
+	if _, _, ok := brokenNodePair(topology.SMP(8)); ok {
+		t.Fatal("single-node machine cannot have a broken pair")
+	}
+	// TwoNode has no 2-hop pair: falls back to the farthest pair.
+	a, b, ok = brokenNodePair(topology.TwoNode(4))
+	if !ok || a != 0 || b != 1 {
+		t.Fatalf("twonode fallback pair = (%d,%d,%v), want (0,1,true)", a, b, ok)
+	}
+}
+
+// TestPinnedBugScenario is the end-to-end sanity check that the
+// campaign can see the paper's Scheduling Group Construction bug: the
+// pinned lu run must be several times slower with the bug than with
+// the fix, and only the buggy run accumulates idle-while-overloaded
+// time.
+func TestPinnedBugScenario(t *testing.T) {
+	topo, _ := TopologyByName("bulldozer8")
+	wl, _ := WorkloadByName("nas-pin:lu")
+	bugs, _ := ConfigByName("bugs")
+	fixGC, _ := ConfigByName("fix-gc")
+	m := Matrix{
+		Topologies: []TopologySpec{topo},
+		Workloads:  []Workload{wl},
+		Configs:    []ConfigSpec{bugs, fixGC},
+		Seeds:      []int64{1},
+		Scale:      0.25,
+		Horizon:    100 * sim.Second,
+	}
+	c, err := Run(m, RunnerOpts{Workers: 2, BaseSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buggy := c.Result("bulldozer8/nas-pin:lu/bugs/s1")
+	fixed := c.Result("bulldozer8/nas-pin:lu/fix-gc/s1")
+	if buggy == nil || fixed == nil {
+		t.Fatalf("missing results in %s", c.FormatSummary())
+	}
+	if !buggy.Completed || !fixed.Completed {
+		t.Fatal("runs hit the horizon")
+	}
+	if ratio := float64(buggy.MakespanNs) / float64(fixed.MakespanNs); ratio < 3 {
+		t.Errorf("bug/fix makespan ratio = %.2f, want >= 3", ratio)
+	}
+	if buggy.IdleWhileOverloadedNs == 0 || buggy.Violations == 0 {
+		t.Error("buggy run shows no idle-while-overloaded time")
+	}
+	if fixed.IdleWhileOverloadedNs != 0 {
+		t.Error("fixed run shows idle-while-overloaded time")
+	}
+}
+
+// TestTraceCapture: with Trace on, confirmed violations switch the
+// recorder on and the event count lands in the artifact.
+func TestTraceCapture(t *testing.T) {
+	topo, _ := TopologyByName("bulldozer8")
+	wl, _ := WorkloadByName("nas-pin:lu")
+	bugs, _ := ConfigByName("bugs")
+	m := Matrix{
+		Topologies: []TopologySpec{topo},
+		Workloads:  []Workload{wl},
+		Configs:    []ConfigSpec{bugs},
+		Seeds:      []int64{1},
+		Scale:      0.25,
+		Horizon:    100 * sim.Second,
+	}
+	c, err := Run(m, RunnerOpts{Workers: 1, BaseSeed: 42, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Results[0].TraceEvents == 0 {
+		t.Error("no trace events captured around violations")
+	}
+}

@@ -1,0 +1,277 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TopologySpec is a named machine shape. Build must return a fresh
+// Topology on every call (scenarios run concurrently and must not share
+// mutable state).
+type TopologySpec struct {
+	Name  string
+	Build func() *topology.Topology
+}
+
+// ConfigSpec is a named scheduler configuration: the paper's bug-fix
+// toggles plus, optionally, the modular placement policies of the
+// modsched redesign (attached by module name when Modules is non-empty).
+type ConfigSpec struct {
+	Name    string
+	Config  sched.Config
+	Modules []string
+}
+
+// Matrix declares a campaign: the cross-product of every listed
+// dimension. A matrix with T topologies, W workloads, C configs and S
+// seeds enumerates T*W*C*S scenarios.
+type Matrix struct {
+	Topologies []TopologySpec
+	Workloads  []Workload
+	Configs    []ConfigSpec
+	Seeds      []int64
+
+	// Scale multiplies workload sizes (0 = 1.0, paper scale).
+	Scale float64
+	// Horizon bounds each scenario in virtual time (0 = 200 virtual
+	// seconds, the experiments default).
+	Horizon sim.Time
+}
+
+// Scenario is one fully-resolved cell of the matrix.
+type Scenario struct {
+	Topology TopologySpec
+	Workload Workload
+	Config   ConfigSpec
+	Seed     int64
+	Scale    float64
+	Horizon  sim.Time
+}
+
+// Key is the scenario's stable identity. It names coordinates, never
+// indices, so reordering or extending the matrix does not change the
+// keys (and therefore the derived seeds) of existing scenarios.
+func (s Scenario) Key() string {
+	return fmt.Sprintf("%s/%s/%s/s%d", s.Topology.Name, s.Workload.Name, s.Config.Name, s.Seed)
+}
+
+func (m Matrix) withDefaults() Matrix {
+	if m.Scale == 0 {
+		m.Scale = 1
+	}
+	if m.Horizon == 0 {
+		m.Horizon = 200 * sim.Second
+	}
+	if len(m.Seeds) == 0 {
+		m.Seeds = []int64{1}
+	}
+	return m
+}
+
+// Size returns the number of scenarios the matrix enumerates.
+func (m Matrix) Size() int {
+	m = m.withDefaults()
+	return len(m.Topologies) * len(m.Workloads) * len(m.Configs) * len(m.Seeds)
+}
+
+// Scenarios enumerates the cross-product in a deterministic order
+// (topology-major, then workload, config, seed). Order only affects
+// scheduling, never the artifact: results are keyed and sorted.
+func (m Matrix) Scenarios() []Scenario {
+	m = m.withDefaults()
+	var out []Scenario
+	for _, t := range m.Topologies {
+		for _, w := range m.Workloads {
+			for _, c := range m.Configs {
+				for _, s := range m.Seeds {
+					out = append(out, Scenario{
+						Topology: t,
+						Workload: w,
+						Config:   c,
+						Seed:     s,
+						Scale:    m.Scale,
+						Horizon:  m.Horizon,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// --- builtin registries --------------------------------------------------
+
+// BuiltinTopologies lists the named machine shapes available to matrix
+// construction and the campaign CLI.
+func BuiltinTopologies() []TopologySpec {
+	return []TopologySpec{
+		{Name: "bulldozer8", Build: topology.Bulldozer8},
+		{Name: "machine32", Build: topology.Machine32},
+		{Name: "twonode8", Build: func() *topology.Topology { return topology.TwoNode(8) }},
+		{Name: "smp8", Build: func() *topology.Topology { return topology.SMP(8) }},
+		{Name: "grid2x2", Build: func() *topology.Topology { return topology.Grid(2, 2, 4) }},
+		{Name: "ring4", Build: func() *topology.Topology { return topology.Ring(4, 4) }},
+	}
+}
+
+// TopologyByName finds a builtin topology spec.
+func TopologyByName(name string) (TopologySpec, bool) {
+	for _, t := range BuiltinTopologies() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return TopologySpec{}, false
+}
+
+// BuiltinConfigs lists the named scheduler configurations: the studied
+// kernel ("bugs"), each fix alone (the paper's per-bug evaluations), all
+// fixes, the power-saving policy that disarms the Overload-on-Wakeup
+// fix, and the modular-scheduler redesign with its three placement
+// modules.
+func BuiltinConfigs() []ConfigSpec {
+	one := func(name string, f sched.Features) ConfigSpec {
+		return ConfigSpec{Name: name, Config: sched.DefaultConfig().WithFixes(f)}
+	}
+	return []ConfigSpec{
+		one("bugs", sched.Features{}),
+		one("fix-gi", sched.Features{FixGroupImbalance: true}),
+		one("fix-gc", sched.Features{FixGroupConstruction: true}),
+		one("fix-oow", sched.Features{FixOverloadWakeup: true}),
+		one("fix-md", sched.Features{FixMissingDomains: true}),
+		one("fixed", sched.AllFixes()),
+		{Name: "powersave", Config: func() sched.Config {
+			c := sched.DefaultConfig().WithFixes(sched.AllFixes())
+			c.Power = sched.PowerSaving
+			return c
+		}()},
+		{Name: "modsched", Config: sched.DefaultConfig(),
+			Modules: []string{"cache-affinity", "load-spread", "numa-locality"}},
+	}
+}
+
+// ConfigByName finds a builtin configuration spec.
+func ConfigByName(name string) (ConfigSpec, bool) {
+	for _, c := range BuiltinConfigs() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return ConfigSpec{}, false
+}
+
+// specNames joins the Name fields for usage strings.
+func specNames[T any](specs []T, name func(T) string) string {
+	var names []string
+	for _, s := range specs {
+		names = append(names, name(s))
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// TopologyNames lists the builtin topology names, sorted.
+func TopologyNames() string {
+	return specNames(BuiltinTopologies(), func(t TopologySpec) string { return t.Name })
+}
+
+// ConfigNames lists the builtin config names, sorted.
+func ConfigNames() string {
+	return specNames(BuiltinConfigs(), func(c ConfigSpec) string { return c.Name })
+}
+
+// WorkloadNames lists the builtin workload names, sorted.
+func WorkloadNames() string {
+	return specNames(BuiltinWorkloads(), func(w Workload) string { return w.Name })
+}
+
+// --- preset matrices -----------------------------------------------------
+
+// DefaultMatrix is the standard 30-scenario sweep: both paper machines;
+// the §3.1 make+R mix, the Table 1 pinned NAS run, and the §3.3
+// database; the studied kernel against the three single-fix kernels
+// those workloads are sensitive to, and the fully-fixed kernel.
+func DefaultMatrix() Matrix {
+	return Matrix{
+		Topologies: pickTopologies("bulldozer8", "machine32"),
+		Workloads:  pickWorkloads("make2r", "nas-pin:lu", "tpch"),
+		Configs:    pickConfigs("bugs", "fix-gi", "fix-gc", "fix-oow", "fixed"),
+		Seeds:      []int64{1},
+	}
+}
+
+// SmokeMatrix is a small fast sweep for tests and CI.
+func SmokeMatrix() Matrix {
+	return Matrix{
+		Topologies: pickTopologies("smp8", "twonode8"),
+		Workloads:  pickWorkloads("make2r", "globalq"),
+		Configs:    pickConfigs("bugs", "fixed"),
+		Seeds:      []int64{1},
+		Scale:      0.1,
+	}
+}
+
+// FullMatrix is the wide sweep: every builtin topology, workload and
+// config across two seeds.
+func FullMatrix() Matrix {
+	return Matrix{
+		Topologies: BuiltinTopologies(),
+		Workloads:  BuiltinWorkloads(),
+		Configs:    BuiltinConfigs(),
+		Seeds:      []int64{1, 2},
+	}
+}
+
+// MatrixByName resolves a preset name.
+func MatrixByName(name string) (Matrix, bool) {
+	switch name {
+	case "default":
+		return DefaultMatrix(), true
+	case "smoke":
+		return SmokeMatrix(), true
+	case "full":
+		return FullMatrix(), true
+	}
+	return Matrix{}, false
+}
+
+func pickTopologies(names ...string) []TopologySpec {
+	var out []TopologySpec
+	for _, n := range names {
+		t, ok := TopologyByName(n)
+		if !ok {
+			panic("campaign: unknown builtin topology " + n)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func pickConfigs(names ...string) []ConfigSpec {
+	var out []ConfigSpec
+	for _, n := range names {
+		c, ok := ConfigByName(n)
+		if !ok {
+			panic("campaign: unknown builtin config " + n)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func pickWorkloads(names ...string) []Workload {
+	var out []Workload
+	for _, n := range names {
+		w, ok := WorkloadByName(n)
+		if !ok {
+			panic("campaign: unknown builtin workload " + n)
+		}
+		out = append(out, w)
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package campaign
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/checker"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// RunnerOpts tunes campaign execution. Workers and OnResult only affect
+// scheduling and reporting — the artifact bytes depend solely on the
+// scenarios plus BaseSeed, Trace and Checker.
+type RunnerOpts struct {
+	// Workers is the worker-pool size; <= 0 uses GOMAXPROCS.
+	Workers int
+	// BaseSeed perturbs every scenario's derived engine seed; campaigns
+	// with equal BaseSeed and scenarios are byte-identical.
+	BaseSeed int64
+	// Trace attaches a bounded trace recorder that the sanity checker
+	// activates around confirmed violations (the paper's "20ms of
+	// systemtap" profiling); the captured event count lands in the
+	// artifact.
+	Trace bool
+	// Checker overrides the sanity-checker tuning. The zero value uses
+	// campaign defaults — a 100ms check interval with a 50ms monitoring
+	// window, denser than the paper's 1s/100ms so that scaled-down
+	// scenario runs (often well under a virtual second) still get
+	// invariant coverage.
+	Checker checker.Config
+	// OnResult, when non-nil, is called from worker goroutines as each
+	// scenario finishes (for progress reporting). Calls may arrive in
+	// any order; the callback must be safe for concurrent use.
+	OnResult func(Result)
+}
+
+// DeriveSeed maps (base seed, scenario key, scenario seed) to the engine
+// seed via FNV-1a. The derivation depends only on the scenario's
+// identity — never on its index, worker, or completion order — which is
+// what makes sharded execution reproducible.
+func DeriveSeed(base int64, key string, seed int64) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
+	h.Write([]byte(key))
+	binary.LittleEndian.PutUint64(b[:], uint64(seed))
+	h.Write(b[:])
+	return int64(h.Sum64())
+}
+
+// Run executes a whole matrix. See RunScenarios.
+func Run(m Matrix, opts RunnerOpts) (*Campaign, error) {
+	return RunScenarios(m.withDefaults().Scenarios(), opts)
+}
+
+// RunScenarios executes the given scenarios on a pool of workers and
+// returns the aggregate artifact. Each scenario runs on its own
+// sim.Engine with a seed derived from (BaseSeed, scenario key), so the
+// artifact is byte-identical for any worker count and any scenario
+// order.
+func RunScenarios(scenarios []Scenario, opts RunnerOpts) (*Campaign, error) {
+	results := ForEach(len(scenarios), opts.Workers, func(i int) Result {
+		r := runScenario(scenarios[i], opts)
+		if opts.OnResult != nil {
+			opts.OnResult(r)
+		}
+		return r
+	})
+	c := &Campaign{Version: Version, BaseSeed: opts.BaseSeed, Results: results}
+	// Stamp the campaign-wide scale and horizon only when they are
+	// uniform across scenarios; a mixed list leaves them zero rather
+	// than mislabeling the artifact with the first scenario's values.
+	if len(scenarios) > 0 {
+		scale, horizon := scenarios[0].Scale, scenarios[0].Horizon
+		uniform := true
+		for _, sc := range scenarios[1:] {
+			if sc.Scale != scale || sc.Horizon != horizon {
+				uniform = false
+				break
+			}
+		}
+		if uniform {
+			c.ScaleMilli = int64(math.Round(scale * 1000))
+			c.HorizonNs = int64(horizon)
+		}
+	}
+	if err := c.sortResults(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ForEach runs n independent jobs on a pool of workers and returns their
+// results in index order. It is the campaign's sharding primitive, also
+// used by the experiments package to parallelize table runs. Jobs must
+// not share mutable state; each builds its own machine.
+func ForEach[T any](n, workers int, job func(i int) T) []T {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = job(i)
+		}
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// runScenario executes one cell: build the machine, attach the sanity
+// checker (and optional placement modules / trace recorder), run the
+// workload, and collect every deterministic metric.
+func runScenario(sc Scenario, opts RunnerOpts) Result {
+	key := sc.Key()
+	engineSeed := DeriveSeed(opts.BaseSeed, key, sc.Seed)
+	topo := sc.Topology.Build()
+	m := machine.New(topo, sc.Config.Config, engineSeed)
+
+	if len(sc.Config.Modules) > 0 {
+		modules := make([]modsched.Module, 0, len(sc.Config.Modules))
+		for _, name := range sc.Config.Modules {
+			mod, ok := modsched.ModuleByName(name)
+			if !ok {
+				panic("campaign: unknown modsched module " + name)
+			}
+			modules = append(modules, mod)
+		}
+		cm := modsched.Attach(m.Sched, modsched.Config{}, modules...)
+		defer cm.Detach()
+	}
+
+	var rec *trace.Recorder
+	if opts.Trace {
+		rec = trace.NewRecorder(1 << 16)
+		m.SetRecorder(rec)
+	}
+	ckCfg := opts.Checker
+	if ckCfg.S == 0 {
+		ckCfg.S = 100 * sim.Millisecond
+	}
+	if ckCfg.M == 0 {
+		ckCfg.M = 50 * sim.Millisecond
+	}
+	ck := checker.New(m.Sched, rec, ckCfg)
+	ck.Start()
+	defer ck.Stop()
+
+	outcome := sc.Workload.Run(&RunContext{
+		M:       m,
+		Topo:    topo,
+		Seed:    engineSeed,
+		Scale:   sc.Scale,
+		Horizon: sc.Horizon,
+	})
+
+	var idleOverloaded sim.Time
+	for _, v := range ck.Violations() {
+		idleOverloaded += v.ConfirmedAt - v.DetectedAt
+	}
+	r := Result{
+		Key:                   key,
+		Topology:              sc.Topology.Name,
+		Workload:              sc.Workload.Name,
+		Config:                sc.Config.Name,
+		Seed:                  sc.Seed,
+		EngineSeed:            engineSeed,
+		MakespanNs:            int64(outcome.Makespan),
+		Completed:             outcome.Completed,
+		Events:                m.Eng.Processed(),
+		Counters:              m.Sched.Counters(),
+		CheckerChecks:         ck.Checks(),
+		CheckerCandidates:     ck.Candidates(),
+		CheckerTransients:     ck.Transients(),
+		Violations:            len(ck.Violations()),
+		IdleWhileOverloadedNs: int64(idleOverloaded),
+		Extra:                 outcome.Extra,
+	}
+	if rec != nil {
+		r.TraceEvents = rec.Len()
+	}
+	return r
+}

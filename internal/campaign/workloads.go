@@ -1,0 +1,297 @@
+package campaign
+
+import (
+	"strings"
+
+	"repro/internal/globalq"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// RunContext is what a workload receives: a freshly-built machine, its
+// topology, the scenario's derived engine seed, and the scale/horizon of
+// the matrix. Workloads must derive all randomness from Seed (or the
+// machine's engine) — wall-clock or global randomness would break the
+// byte-identical-artifact guarantee.
+type RunContext struct {
+	M       *machine.Machine
+	Topo    *topology.Topology
+	Seed    int64
+	Scale   float64
+	Horizon sim.Time
+}
+
+// Outcome is what a workload reports back to the runner.
+type Outcome struct {
+	// Makespan is the workload's completion time in virtual time (the
+	// horizon when it did not complete).
+	Makespan sim.Time
+	// Completed is false when the horizon was hit first.
+	Completed bool
+	// Extra carries workload-specific metrics into the artifact.
+	Extra map[string]float64
+}
+
+// Workload is a named scenario workload.
+type Workload struct {
+	Name string
+	Run  func(rc *RunContext) Outcome
+}
+
+// BuiltinWorkloads lists the named workloads available to matrix
+// construction and the campaign CLI. Any NAS program is additionally
+// reachable as "nas:<name>" through WorkloadByName.
+func BuiltinWorkloads() []Workload {
+	return []Workload{
+		makeTwoR(),
+		tpchWorkload(),
+		nasWorkload("lu"),
+		nasWorkload("cg"),
+		nasWorkload("ep"),
+		nasPinnedWorkload("lu"),
+		globalqWorkload(),
+	}
+}
+
+// WorkloadByName resolves a builtin workload, including the dynamic
+// "nas:<app>" family.
+func WorkloadByName(name string) (Workload, bool) {
+	for _, w := range BuiltinWorkloads() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	if app, ok := strings.CutPrefix(name, "nas:"); ok {
+		if _, found := workload.NASAppByName(app); found {
+			return nasWorkload(app), true
+		}
+	}
+	if app, ok := strings.CutPrefix(name, "nas-pin:"); ok {
+		if _, found := workload.NASAppByName(app); found {
+			return nasPinnedWorkload(app), true
+		}
+	}
+	return Workload{}, false
+}
+
+// scaleDur scales a duration, clamping at a floor so tiny scales keep
+// the workload meaningful.
+func scaleDur(d sim.Time, scale float64, floor sim.Time) sim.Time {
+	s := sim.Time(float64(d) * scale)
+	if s < floor {
+		return floor
+	}
+	return s
+}
+
+// makeTwoR is the §3.1 / Figure 2 mix: a make -j(numcores) build in one
+// autogroup plus two single-threaded R hogs in their own autogroups on
+// distinct nodes — the workload that exposes Group Imbalance. Makespan
+// is make's completion time.
+func makeTwoR() Workload {
+	return Workload{Name: "make2r", Run: func(rc *RunContext) Outcome {
+		topo := rc.Topo
+		rWork := scaleDur(30*sim.Second, rc.Scale, sim.Second)
+		workload.LaunchR(rc.M, topo.CoresOfNode(0)[0], rWork)
+		if topo.NumNodes() > 1 {
+			mid := topology.NodeID(topo.NumNodes() / 2)
+			workload.LaunchR(rc.M, topo.CoresOfNode(mid)[0], rWork)
+		}
+		mk := workload.DefaultMakeOpts()
+		mk.Seed = rc.Seed
+		mk.Threads = topo.NumCores()
+		mk.JobsPerThread = int(float64(mk.JobsPerThread) * rc.Scale)
+		if mk.JobsPerThread < 2 {
+			mk.JobsPerThread = 2
+		}
+		mk.SpawnCore = topo.CoresOfNode(topology.NodeID(topo.NumNodes()-1))[0]
+		p := workload.LaunchMake(rc.M, mk)
+		end, ok := rc.M.RunUntilDone(rc.Horizon, p)
+		return Outcome{Makespan: end, Completed: ok}
+	}}
+}
+
+// nasWorkload runs one NPB program with as many threads as cores, all
+// forked from core 0 — the §3.2/§3.4 pattern that concentrates load on
+// the spawn node until the balancer (if healthy) spreads it.
+func nasWorkload(name string) Workload {
+	return Workload{Name: "nas:" + name, Run: func(rc *RunContext) Outcome {
+		app, ok := workload.NASAppByName(name)
+		if !ok {
+			panic("campaign: unknown NAS app " + name)
+		}
+		p := app.Launch(rc.M, workload.NASLaunchOpts{
+			Threads:   rc.Topo.NumCores(),
+			SpawnCore: 0,
+			Seed:      rc.Seed,
+			Scale:     rc.Scale,
+		})
+		end, done := rc.M.RunUntilDone(rc.Horizon, p)
+		return Outcome{Makespan: end, Completed: done}
+	}}
+}
+
+// nasPinnedWorkload is the Table 1 configuration: the program pinned
+// (numactl-style) to the two most distant NUMA nodes, with as many
+// threads as those nodes have cores, all forked on the first node. On
+// machines with 2-hop-apart nodes the Scheduling Group Construction bug
+// keeps every thread on the spawn node — the scenario where the sanity
+// checker sees long-term idle-while-overloaded violations. On
+// single-node machines it degrades to an unpinned run.
+func nasPinnedWorkload(name string) Workload {
+	return Workload{Name: "nas-pin:" + name, Run: func(rc *RunContext) Outcome {
+		app, ok := workload.NASAppByName(name)
+		if !ok {
+			panic("campaign: unknown NAS app " + name)
+		}
+		opts := workload.NASLaunchOpts{
+			Threads:   rc.Topo.NumCores(),
+			SpawnCore: 0,
+			Seed:      rc.Seed,
+			Scale:     rc.Scale,
+		}
+		if a, b, ok := brokenNodePair(rc.Topo); ok {
+			opts.Affinity = workload.NodeSet(rc.Topo, a, b)
+			opts.Threads = len(rc.Topo.CoresOfNode(a)) + len(rc.Topo.CoresOfNode(b))
+			opts.SpawnCore = rc.Topo.CoresOfNode(a)[0]
+		}
+		p := app.Launch(rc.M, opts)
+		end, done := rc.M.RunUntilDone(rc.Horizon, p)
+		return Outcome{Makespan: end, Completed: done}
+	}}
+}
+
+// brokenNodePair returns a pair of nodes whose load balancing the
+// Scheduling Group Construction bug breaks: two nodes at hop distance
+// >= 2 that appear together in every buggy machine-level scheduling
+// group that contains either of them — so from any core on either node
+// the other is always "local" and never stolen from. It replicates the
+// buggy greedy construction (groups are (maxHops-1)-hop neighborhoods
+// of nodes taken in ascending order from node 0, the Core 0
+// perspective; see sched.buildNUMAGroups). On the Bulldozer machine
+// this yields the paper's pair, nodes 1 and 2. Falls back to the
+// farthest pair when no broken pair exists, and reports ok=false on
+// single-node machines.
+func brokenNodePair(t *topology.Topology) (a, b topology.NodeID, ok bool) {
+	n := t.NumNodes()
+	if n < 2 {
+		return 0, 0, false
+	}
+	h := t.MaxHops()
+	// Buggy machine-level groups, from node 0's perspective.
+	var groups [][]topology.NodeID
+	covered := map[topology.NodeID]bool{}
+	for i := 0; i < n; i++ {
+		node := topology.NodeID(i)
+		if covered[node] {
+			continue
+		}
+		g := t.NodesWithin(node, h-1)
+		for _, gn := range g {
+			covered[gn] = true
+		}
+		groups = append(groups, g)
+	}
+	inGroup := func(g []topology.NodeID, x topology.NodeID) bool {
+		for _, gn := range g {
+			if gn == x {
+				return true
+			}
+		}
+		return false
+	}
+	var fallbackA, fallbackB topology.NodeID
+	bestHops := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			x, y := topology.NodeID(i), topology.NodeID(j)
+			d := t.Hops(x, y)
+			if d > bestHops {
+				bestHops = d
+				fallbackA, fallbackB = x, y
+			}
+			if d < 2 {
+				continue
+			}
+			broken := true
+			for _, g := range groups {
+				if inGroup(g, x) != inGroup(g, y) {
+					broken = false
+					break
+				}
+			}
+			if broken {
+				return x, y, true
+			}
+		}
+	}
+	return fallbackA, fallbackB, bestHops > 0
+}
+
+// tpchWorkload is the §3.3 commercial database: a worker pool split into
+// containers (sized to the machine), transient kernel noise, and the
+// full 22-query benchmark. Extra records Q18's latency, the query "most
+// sensitive to the bug".
+func tpchWorkload() Workload {
+	return Workload{Name: "tpch", Run: func(rc *RunContext) Outcome {
+		cores := rc.Topo.NumCores()
+		db := workload.NewTPCH(rc.M, workload.TPCHOpts{
+			Containers: []int{cores / 2, cores / 4, cores / 4},
+			Autogroups: true,
+			Scale:      rc.Scale,
+			Seed:       rc.Seed,
+		})
+		noise := workload.StartNoise(rc.M, workload.NoiseOpts{
+			MeanInterval: 3 * sim.Millisecond,
+			MinDur:       200 * sim.Microsecond,
+			MaxDur:       900 * sim.Microsecond,
+			Seed:         rc.Seed + 1,
+		})
+		defer noise.Stop()
+		rc.M.Run(50 * sim.Millisecond) // let the pool spread and park
+		lats, done := db.RunAll(rc.Horizon)
+		if !done {
+			return Outcome{Makespan: rc.Horizon, Completed: false}
+		}
+		var full, q18 sim.Time
+		for q, l := range lats {
+			full += l
+			if q == workload.Q18Index {
+				q18 = l
+			}
+		}
+		return Outcome{
+			Makespan:  full,
+			Completed: true,
+			Extra: map[string]float64{
+				"q18_s": q18.Seconds(),
+			},
+		}
+	}}
+}
+
+// globalqWorkload runs the §2.2 runqueue-design model at the machine's
+// core count: one shared global queue versus per-core queues. The
+// simulated machine is unused — the model has its own tiny engine — but
+// the topology chooses the core count and the derived seed keeps the run
+// tied to the scenario. Makespan is the shared-queue makespan; Extra
+// records both designs' switch-overhead fractions.
+func globalqWorkload() Workload {
+	return Workload{Name: "globalq", Run: func(rc *RunContext) Outcome {
+		cores := rc.Topo.NumCores()
+		work := scaleDur(20*sim.Millisecond, rc.Scale, sim.Millisecond)
+		shared := globalq.RunOne(globalq.DefaultConfig(cores), globalq.SharedQueue, rc.Seed, cores*8, work)
+		perCore := globalq.RunOne(globalq.DefaultConfig(cores), globalq.PerCoreQueue, rc.Seed, cores*8, work)
+		return Outcome{
+			Makespan:  shared.Makespan,
+			Completed: true,
+			Extra: map[string]float64{
+				"shared_overhead_frac":  shared.OverheadFraction(),
+				"percore_overhead_frac": perCore.OverheadFraction(),
+				"shared_vs_percore_x":   shared.Makespan.Seconds() / perCore.Makespan.Seconds(),
+			},
+		}
+	}}
+}

@@ -4,9 +4,16 @@
 // results plus a paper-style formatted table. The benchmark harness
 // (bench_test.go) and the wastedcores CLI are thin wrappers over this
 // package.
+//
+// Experiments with several independent runs (the NAS tables run 9
+// applications x 2 kernels, Table 2 runs 4 fix combinations) execute
+// them through the campaign worker pool (campaign.ForEach): each run
+// owns its machine and seed, so results are identical to sequential
+// execution — only faster.
 package experiments
 
 import (
+	"repro/internal/campaign"
 	"repro/internal/sim"
 )
 
@@ -19,6 +26,10 @@ type Options struct {
 	Scale float64
 	// Horizon bounds each individual run in virtual time.
 	Horizon sim.Time
+	// Workers sizes the worker pool for experiments with independent
+	// runs (0 = GOMAXPROCS, 1 = sequential). Results do not depend on
+	// it.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -32,4 +43,9 @@ func (o Options) withDefaults() Options {
 		o.Horizon = 200 * sim.Second
 	}
 	return o
+}
+
+// forEach fans n independent runs out on the campaign worker pool.
+func forEach[T any](o Options, n int, job func(i int) T) []T {
+	return campaign.ForEach(n, o.Workers, job)
 }

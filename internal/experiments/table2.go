@@ -47,18 +47,17 @@ func table2Configs() []struct {
 // and Overload-on-Wakeup fixes.
 func Table2(opts Options) []Table2Row {
 	opts = opts.withDefaults()
-	var rows []Table2Row
-	var base Table2Row
-	for i, cfg := range table2Configs() {
-		q18, full, ok := runTPCH(opts, cfg.F)
-		row := Table2Row{Config: cfg.Name, Q18: q18, Full: full, Complete: ok}
-		if i == 0 {
-			base = row
-		} else {
-			row.Q18Pct = stats.PercentChange(base.Q18.Seconds(), q18.Seconds())
-			row.FullPct = stats.PercentChange(base.Full.Seconds(), full.Seconds())
-		}
-		rows = append(rows, row)
+	configs := table2Configs()
+	// The four fix combinations are independent runs; the percentage
+	// columns against the no-fixes baseline are computed afterwards.
+	rows := forEach(opts, len(configs), func(i int) Table2Row {
+		q18, full, ok := runTPCH(opts, configs[i].F)
+		return Table2Row{Config: configs[i].Name, Q18: q18, Full: full, Complete: ok}
+	})
+	base := rows[0]
+	for i := 1; i < len(rows); i++ {
+		rows[i].Q18Pct = stats.PercentChange(base.Q18.Seconds(), rows[i].Q18.Seconds())
+		rows[i].FullPct = stats.PercentChange(base.Full.Seconds(), rows[i].Full.Seconds())
 	}
 	return rows
 }

@@ -30,16 +30,24 @@ type Table3Row struct {
 // spinning on locks and barriers while holders sit in runqueues.
 func Table3(opts Options) []Table3Row {
 	opts = opts.withDefaults()
+	apps := workload.NASSuite()
+	type run struct {
+		t  sim.Time
+		ok bool
+	}
+	runs := forEach(opts, 2*len(apps), func(i int) run {
+		t, ok := runTable3App(apps[i/2], opts, i%2 == 1)
+		return run{t, ok}
+	})
 	var rows []Table3Row
-	for _, app := range workload.NASSuite() {
-		buggy, okB := runTable3App(app, opts, false)
-		fixed, okF := runTable3App(app, opts, true)
+	for i, app := range apps {
+		buggy, fixed := runs[2*i], runs[2*i+1]
 		rows = append(rows, Table3Row{
 			App:      app.Name,
-			WithBug:  buggy,
-			Fixed:    fixed,
-			Speedup:  stats.Speedup(buggy.Seconds(), fixed.Seconds()),
-			Complete: okB && okF,
+			WithBug:  buggy.t,
+			Fixed:    fixed.t,
+			Speedup:  stats.Speedup(buggy.t.Seconds(), fixed.t.Seconds()),
+			Complete: buggy.ok && fixed.ok,
 		})
 	}
 	return rows

@@ -50,13 +50,20 @@ func GroupImbalanceLU(opts Options) LuRResult {
 		end, done := m.RunUntilDone(start+opts.Horizon, p)
 		return end - start, done
 	}
-	bug, okB := run(false)
-	fixed, okF := run(true)
+	type res struct {
+		t  sim.Time
+		ok bool
+	}
+	runs := forEach(opts, 2, func(i int) res {
+		t, ok := run(i == 1)
+		return res{t, ok}
+	})
+	bug, fixed := runs[0], runs[1]
 	return LuRResult{
-		WithBug:  bug,
-		Fixed:    fixed,
-		Speedup:  stats.Speedup(bug.Seconds(), fixed.Seconds()),
-		Complete: okB && okF,
+		WithBug:  bug.t,
+		Fixed:    fixed.t,
+		Speedup:  stats.Speedup(bug.t.Seconds(), fixed.t.Seconds()),
+		Complete: bug.ok && fixed.ok,
 	}
 }
 

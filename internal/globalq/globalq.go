@@ -214,23 +214,28 @@ func (r Result) OverheadFraction() float64 {
 	return float64(r.Overhead) / float64(total)
 }
 
+// RunOne builds a model scheduler, loads tasks of the given work each,
+// runs them to completion and returns the summary.
+func RunOne(cfg Config, d Design, seed int64, tasks int, work sim.Time) Result {
+	s := New(cfg, d, seed)
+	s.Load(tasks, work)
+	mk := s.Run()
+	if s.done != s.total {
+		panic(fmt.Sprintf("globalq: %d of %d tasks finished", s.done, s.total))
+	}
+	return Result{
+		Design: d, Cores: cfg.Cores, Makespan: mk,
+		Useful: s.useful, Overhead: s.overhead,
+		Switches: s.switches, Completed: s.done,
+	}
+}
+
 // Experiment runs both designs at the given core count with tasksPerCore
 // threads per core and returns the pair of results.
 func Experiment(cores, tasksPerCore int, work sim.Time) (shared, perCore Result) {
-	run := func(d Design) Result {
-		s := New(DefaultConfig(cores), d, 1)
-		s.Load(cores*tasksPerCore, work)
-		mk := s.Run()
-		if s.done != s.total {
-			panic(fmt.Sprintf("globalq: %d of %d tasks finished", s.done, s.total))
-		}
-		return Result{
-			Design: d, Cores: cores, Makespan: mk,
-			Useful: s.useful, Overhead: s.overhead,
-			Switches: s.switches, Completed: s.done,
-		}
-	}
-	return run(SharedQueue), run(PerCoreQueue)
+	cfg := DefaultConfig(cores)
+	n := cores * tasksPerCore
+	return RunOne(cfg, SharedQueue, 1, n, work), RunOne(cfg, PerCoreQueue, 1, n, work)
 }
 
 // ScalingTable runs the experiment across core counts and renders the

@@ -60,6 +60,21 @@ func (LoadSpread) SuggestWakeup(v View, t *sched.Thread, waker *sched.Thread,
 	return best, best >= 0
 }
 
+// BuiltinModules lists the stock optimization modules.
+func BuiltinModules() []Module {
+	return []Module{CacheAffinity{}, LoadSpread{}, NUMALocality{}}
+}
+
+// ModuleByName finds a stock module by its Name().
+func ModuleByName(name string) (Module, bool) {
+	for _, m := range BuiltinModules() {
+		if m.Name() == name {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
 // NUMALocality prefers an idle core on the thread's last NUMA node before
 // letting placement wander off-node — a memory-locality module ("a load
 // balancer risks to break memory-node affinity as it moves threads among

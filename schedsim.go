@@ -13,8 +13,12 @@
 //     (NewChecker, §4.1),
 //   - record and visualize scheduling activity (NewRecorder,
 //     RQSizeHeatmap, §4.2),
-//   - and regenerate every table and figure of the paper's evaluation
-//     (Table1..Table5, Fig1..Fig5 in the experiments aliases).
+//   - regenerate every table and figure of the paper's evaluation
+//     (Table1..Table5, Fig1..Fig5 in the experiments aliases),
+//   - and sweep whole scenario campaigns — topology x workload x config
+//     x seed cross-products — on a parallel worker pool with
+//     byte-reproducible JSON artifacts and baseline regression
+//     comparison (RunCampaign, DefaultCampaignMatrix).
 //
 // A minimal session:
 //
@@ -28,6 +32,7 @@
 package schedsim
 
 import (
+	"repro/internal/campaign"
 	"repro/internal/checker"
 	"repro/internal/machine"
 	"repro/internal/modsched"
@@ -253,3 +258,41 @@ type (
 
 // AttachModular installs the §5 core module on a scheduler.
 var AttachModular = modsched.Attach
+
+// The campaign subsystem: declarative scenario matrices executed on a
+// sharded worker pool with byte-reproducible aggregate artifacts and
+// baseline regression comparison.
+type (
+	// CampaignMatrix declares a topology x workload x config x seed
+	// cross-product.
+	CampaignMatrix = campaign.Matrix
+	// CampaignScenario is one resolved cell of a matrix.
+	CampaignScenario = campaign.Scenario
+	// CampaignWorkload is a named scenario workload.
+	CampaignWorkload = campaign.Workload
+	// CampaignTopologySpec is a named topology constructor.
+	CampaignTopologySpec = campaign.TopologySpec
+	// CampaignConfigSpec is a named scheduler configuration.
+	CampaignConfigSpec = campaign.ConfigSpec
+	// CampaignRunnerOpts tunes campaign execution (workers, base seed,
+	// checker cadence, trace capture).
+	CampaignRunnerOpts = campaign.RunnerOpts
+	// Campaign is the aggregate artifact of one matrix run.
+	Campaign = campaign.Campaign
+	// CampaignResult is one scenario's collected metrics.
+	CampaignResult = campaign.Result
+	// CampaignComparison is the diff of a campaign against a baseline.
+	CampaignComparison = campaign.Comparison
+)
+
+// Campaign runner and helpers.
+var (
+	// RunCampaign executes a whole matrix on a worker pool.
+	RunCampaign = campaign.Run
+	// DefaultCampaignMatrix is the standard 30-scenario sweep.
+	DefaultCampaignMatrix = campaign.DefaultMatrix
+	// LoadCampaign reads a JSON artifact written by Campaign.WriteFile.
+	LoadCampaign = campaign.Load
+	// CompareCampaigns diffs two artifacts for per-scenario regressions.
+	CompareCampaigns = campaign.Compare
+)
