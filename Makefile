@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench campaign ci
+.PHONY: all build vet test race bench campaign bisect bisect-smoke ci
 
 all: ci
 
@@ -29,4 +29,13 @@ bench:
 campaign:
 	$(GO) run ./cmd/campaign -matrix default -scale 0.25 -out campaign.json
 
-ci: build vet race
+# The full 128-cell fix-set bisection, artifact to bisect.json.
+bisect:
+	$(GO) run ./cmd/bisect -preset default -out bisect.json
+
+# The CI lattice: 32 scenarios under the race detector, artifact kept so
+# it can serve as a rolling baseline (`-baseline bisect-smoke.json`).
+bisect-smoke:
+	$(GO) run -race ./cmd/bisect -preset smoke -q -out bisect-smoke.json
+
+ci: build vet race bisect-smoke

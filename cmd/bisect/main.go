@@ -1,0 +1,193 @@
+// Command bisect walks the 2^4 bug-fix lattice: for every (topology,
+// workload, seed) cell it runs all 16 combinations of the paper's four
+// fixes through the campaign worker pool, then names the minimal fix
+// set(s) that eliminate each idle-while-overloaded episode class, the
+// non-monotone interactions (fix combinations that re-introduce
+// violations, like the min-load fix under affinity pinning), and the
+// minimal sets recovering best-case makespan.
+//
+// Usage:
+//
+//	bisect [flags]
+//
+// Examples:
+//
+//	bisect -preset smoke -out bisect.json
+//	bisect -preset default -workers 8
+//	bisect -topos bulldozer8 -loads nas-pin:lu -seeds 1,2,3
+//	bisect -preset smoke -baseline bisect.json
+//
+// Flags:
+//
+//	-preset name     sweep preset: smoke (32 scenarios), default, full
+//	-topos csv       override topologies (see campaign -list)
+//	-loads csv       override workloads
+//	-seeds csv       override workload seeds
+//	-workers n       worker pool size (default GOMAXPROCS)
+//	-seed n          campaign base seed (default 42)
+//	-scale f         workload scale factor (default per preset)
+//	-horizon s       per-scenario virtual-time bound in seconds
+//	-perftol pct     perf-verdict makespan tolerance percent (default 10)
+//	-out file        write the JSON artifact here ("-" for stdout)
+//	-baseline file   compare the embedded campaign against a previous
+//	                 bisect artifact's; exit 1 on regression
+//	-tolerance pct   baseline regression tolerance percent (default 2)
+//	-q               suppress the verdict summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bisect"
+	"repro/internal/campaign"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		preset    = flag.String("preset", "default", "sweep preset: smoke, default, full")
+		topos     = flag.String("topos", "", "comma-separated topology overrides")
+		loads     = flag.String("loads", "", "comma-separated workload overrides")
+		seeds     = flag.String("seeds", "", "comma-separated workload seed overrides")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		baseSeed  = flag.Int64("seed", 42, "campaign base seed")
+		scale     = flag.Float64("scale", 0, "workload scale factor (0 = preset default)")
+		horizon   = flag.Float64("horizon", 0, "per-scenario horizon in virtual seconds (0 = preset default)")
+		perfTol   = flag.Float64("perftol", 0, "perf-verdict makespan tolerance percent (0 = default 10)")
+		out       = flag.String("out", "", "write JSON artifact to this file (\"-\" for stdout)")
+		baseline  = flag.String("baseline", "", "compare against this bisect artifact")
+		tolerance = flag.Float64("tolerance", 2, "baseline regression tolerance percent")
+		quiet     = flag.Bool("q", false, "suppress the verdict summary")
+	)
+	flag.Parse()
+
+	o, ok := bisect.OptionsByName(*preset)
+	if !ok {
+		fatalf("unknown preset %q (want smoke, default or full)", *preset)
+	}
+	if err := applyOverrides(&o, *topos, *loads, *seeds); err != nil {
+		fatalf("%v", err)
+	}
+	o.Workers = *workers
+	o.BaseSeed = *baseSeed
+	if *scale > 0 {
+		o.Scale = *scale
+	}
+	if *horizon > 0 {
+		o.Horizon = sim.Time(*horizon * float64(sim.Second))
+	}
+	if *perfTol > 0 {
+		o.PerfTolerancePct = *perfTol
+	}
+
+	fmt.Fprintf(os.Stderr, "bisect: running %d scenarios (%d cells x %d lattice points, base seed %d, scale %g)\n",
+		o.Matrix().Size(), o.Matrix().Size()/bisect.NumSets, bisect.NumSets, o.BaseSeed, o.Scale)
+	r, err := bisect.Run(o)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if !*quiet {
+		if *out == "-" {
+			fmt.Fprint(os.Stderr, r.FormatSummary())
+		} else {
+			fmt.Print(r.FormatSummary())
+		}
+	}
+	if *out != "" {
+		data, err := r.EncodeJSON()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *out == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatalf("%v", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "bisect: wrote %s (%d bytes)\n", *out, len(data))
+		}
+	}
+	if *baseline != "" {
+		base, err := bisect.Load(*baseline)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		// Metrics are only comparable across equal sweep parameters: a
+		// different checker lens, scale or base seed changes episode
+		// counts and makespans legitimately, not as regressions.
+		switch {
+		case base.CheckerSNs != r.CheckerSNs || base.CheckerMNs != r.CheckerMNs:
+			fatalf("baseline %s used checker lens S=%v M=%v, this run S=%v M=%v; not comparable",
+				*baseline, sim.Time(base.CheckerSNs), sim.Time(base.CheckerMNs),
+				sim.Time(r.CheckerSNs), sim.Time(r.CheckerMNs))
+		case base.ScaleMilli != r.ScaleMilli:
+			fatalf("baseline %s ran at scale %g, this run at %g; not comparable",
+				*baseline, float64(base.ScaleMilli)/1000, float64(r.ScaleMilli)/1000)
+		case base.BaseSeed != r.BaseSeed:
+			fatalf("baseline %s used base seed %d, this run %d; not comparable",
+				*baseline, base.BaseSeed, r.BaseSeed)
+		}
+		cmp := campaign.Compare(base.Campaign, r.Campaign, *tolerance)
+		fmt.Print(campaign.FormatComparison(cmp))
+		if !cmp.Clean() {
+			os.Exit(1)
+		}
+	}
+}
+
+// applyOverrides swaps sweep dimensions for the ones named on the
+// command line.
+func applyOverrides(o *bisect.Options, topos, loads, seeds string) error {
+	if topos != "" {
+		o.Topologies = o.Topologies[:0]
+		for _, name := range splitCSV(topos) {
+			t, ok := campaign.TopologyByName(name)
+			if !ok {
+				return fmt.Errorf("unknown topology %q (have: %s)", name, campaign.TopologyNames())
+			}
+			o.Topologies = append(o.Topologies, t)
+		}
+	}
+	if loads != "" {
+		o.Workloads = o.Workloads[:0]
+		for _, name := range splitCSV(loads) {
+			w, ok := campaign.WorkloadByName(name)
+			if !ok {
+				return fmt.Errorf("unknown workload %q (have: %s, plus nas:<app>)", name, campaign.WorkloadNames())
+			}
+			o.Workloads = append(o.Workloads, w)
+		}
+	}
+	if seeds != "" {
+		o.Seeds = o.Seeds[:0]
+		for _, s := range splitCSV(seeds) {
+			n, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad seed %q: %v", s, err)
+			}
+			o.Seeds = append(o.Seeds, n)
+		}
+	}
+	return nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	msg = strings.TrimPrefix(msg, "bisect: ")
+	fmt.Fprintf(os.Stderr, "bisect: %s\n", msg)
+	os.Exit(1)
+}

@@ -67,6 +67,7 @@ experiments:
   table3   NAS with/without the Missing Scheduling Domains bug
   table4   summary of the four bugs with measured maximum impact
   table5   the simulated machine (paper's hardware table)
+  attribution  minimal fix sets from the 2^4 lattice vs the paper's fixes
   fig1     scheduling-domain hierarchy of the 32-core machine
   fig2     Group Imbalance heatmaps (make + 2xR)
   fig3     Overload-on-Wakeup trace (TPC-H)
@@ -97,6 +98,12 @@ func run(cmd string, opts experiments.Options, svgDir string) error {
 		fmt.Println(experiments.FormatTable4(experiments.Table4(t1, t2, t3, lur)))
 	case "table5":
 		fmt.Println(experiments.Table5())
+	case "attribution":
+		rows, _, err := experiments.Attribution(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAttribution(rows))
 	case "fig1":
 		fmt.Println(experiments.Fig1())
 	case "fig2":
@@ -156,7 +163,7 @@ func run(cmd string, opts experiments.Options, svgDir string) error {
 
 func runAll(opts experiments.Options, svgDir string) {
 	for _, cmd := range []string{"table5", "fig4", "fig1", "table1", "table2",
-		"table3", "table4", "fig2", "fig3", "fig5", "check", "scaling"} {
+		"table3", "table4", "attribution", "fig2", "fig3", "fig5", "check", "scaling"} {
 		fmt.Printf("==== %s ====\n\n", cmd)
 		if err := run(cmd, opts, svgDir); err != nil {
 			fmt.Fprintf(os.Stderr, "wastedcores: %s: %v\n", cmd, err)

@@ -1,0 +1,103 @@
+package bisect
+
+import (
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/sched"
+)
+
+// FixSet is a subset of the paper's four bug fixes, encoded as a 4-bit
+// mask. The bit order is the canonical lattice order owned by
+// campaign.LatticeConfigs: FixSet(m) corresponds to LatticeConfigs()[m],
+// and all naming and feature expansion delegates to the campaign
+// package so there is a single source of truth.
+type FixSet uint8
+
+// The four fixes, one bit each (campaign's canonical lattice order).
+const (
+	FixGI  FixSet = 1 << iota // Group Imbalance fix (§3.1): min-load comparison
+	FixGC                     // Scheduling Group Construction fix (§3.2): per-core groups
+	FixOOW                    // Overload-on-Wakeup fix (§3.3): idle-core wakeup placement
+	FixMD                     // Missing Scheduling Domains fix (§3.4): hotplug regeneration
+
+	// NumSets is the size of the lattice, 2^4.
+	NumSets = 16
+)
+
+// All enumerates the whole lattice in mask order: the studied kernel
+// (0) first, the fully fixed kernel (NumSets-1) last.
+func All() []FixSet {
+	out := make([]FixSet, NumSets)
+	for i := range out {
+		out[i] = FixSet(i)
+	}
+	return out
+}
+
+// Singles enumerates the four single-fix sets in canonical order.
+func Singles() []FixSet {
+	return []FixSet{FixGI, FixGC, FixOOW, FixMD}
+}
+
+// Has reports whether f contains every fix of g.
+func (f FixSet) Has(g FixSet) bool { return f&g == g }
+
+// SubsetOf reports whether every fix of f is in g.
+func (f FixSet) SubsetOf(g FixSet) bool { return g.Has(f) }
+
+// Count returns the number of fixes enabled.
+func (f FixSet) Count() int {
+	n := 0
+	for g := f; g != 0; g &= g - 1 {
+		n++
+	}
+	return n
+}
+
+// String renders the set with short fix names: "none", "gc", "gi+oow".
+func (f FixSet) String() string {
+	return strings.TrimPrefix(f.ConfigName(), "fx-")
+}
+
+// ConfigName returns the campaign configuration name of the set
+// ("fx-none", "fx-gi+oow", ...).
+func (f FixSet) ConfigName() string { return campaign.LatticeConfigName(int(f)) }
+
+// ParseConfigName maps a lattice config name back to its FixSet.
+func ParseConfigName(name string) (FixSet, bool) {
+	s, ok := strings.CutPrefix(name, "fx-")
+	if !ok {
+		return 0, false
+	}
+	return Parse(s)
+}
+
+// Parse maps a short-name rendering ("none", "gi+gc") back to a FixSet.
+func Parse(s string) (FixSet, bool) {
+	if s == "none" {
+		return 0, true
+	}
+	names := campaign.LatticeFixNames()
+	var f FixSet
+	for _, part := range strings.Split(s, "+") {
+		bit := FixSet(0)
+		for i, name := range names {
+			if part == name {
+				bit = 1 << i
+				break
+			}
+		}
+		if bit == 0 || f.Has(bit) {
+			return 0, false
+		}
+		f |= bit
+	}
+	return f, true
+}
+
+// Features expands the set into scheduler feature toggles, via the
+// campaign lattice.
+func (f FixSet) Features() sched.Features {
+	return campaign.LatticeConfigs()[f].Config.Features
+}

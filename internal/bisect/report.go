@@ -1,0 +1,521 @@
+package bisect
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/sim"
+)
+
+// Version identifies the bisect artifact schema; bump on incompatible
+// change.
+const Version = 1
+
+// ClassVerdict is the per-episode-class answer of one cell: which
+// minimal fix sets eliminate every confirmed episode of this class.
+type ClassVerdict struct {
+	// Class is the bug signature (checker.Classify).
+	Class string `json:"class"`
+	// BaselineEpisodes / BaselineIdleNs are the class's footprint under
+	// the studied kernel (fx-none).
+	BaselineEpisodes int   `json:"baseline_episodes"`
+	BaselineIdleNs   int64 `json:"baseline_idle_ns"`
+	// MinimalFixSets are the minimal lattice elements with zero episodes
+	// of this class, in short-name form ("gc", "gi+oow").
+	MinimalFixSets []string `json:"minimal_fix_sets,omitempty"`
+	// Unresolved is set when no fix set at all zeroes the class.
+	Unresolved bool `json:"unresolved,omitempty"`
+}
+
+// Interaction is one non-monotone lattice edge: adding a single fix to a
+// set re-introduced idle-while-overloaded time beyond one monitoring
+// window — the shape of the ROADMAP min-load anomaly.
+type Interaction struct {
+	// Base and Combined name the two lattice points; Added is the fix
+	// whose addition hurt.
+	Base     string `json:"base"`
+	Added    string `json:"added"`
+	Combined string `json:"combined"`
+	// BaseIdleNs / CombinedIdleNs are the idle-while-overloaded times of
+	// the two points.
+	BaseIdleNs     int64 `json:"base_idle_ns"`
+	CombinedIdleNs int64 `json:"combined_idle_ns"`
+	// Classes are the episode classes present at the combined point.
+	Classes map[string]int `json:"classes,omitempty"`
+}
+
+// Cell is the verdict for one (topology, workload, seed) coordinate.
+type Cell struct {
+	Topology string `json:"topology"`
+	Workload string `json:"workload"`
+	Seed     int64  `json:"seed"`
+
+	// Baseline metrics under the studied kernel (fx-none).
+	BaselineViolations int            `json:"baseline_violations"`
+	BaselineIdleNs     int64          `json:"baseline_idle_while_overloaded_ns"`
+	BaselineClasses    map[string]int `json:"baseline_classes,omitempty"`
+
+	// MinimalFixSets are the minimal lattice elements that zero every
+	// baseline episode class at once. Empty when the baseline is clean
+	// (nothing to fix) or Unresolved is set.
+	MinimalFixSets []string `json:"minimal_fix_sets,omitempty"`
+	// Unresolved: the baseline has violations but no fix set zeroes all
+	// its classes.
+	Unresolved bool `json:"unresolved,omitempty"`
+	// ResidualIdleNs records, for each minimal fix set, idle time from
+	// episode classes outside the baseline's (startup transients, or
+	// classes a fix introduced); zero entries are omitted.
+	ResidualIdleNs map[string]int64 `json:"residual_idle_ns,omitempty"`
+
+	// ClassVerdicts answer "which fix removes this episode class",
+	// sorted by class name.
+	ClassVerdicts []ClassVerdict `json:"class_verdicts,omitempty"`
+	// Interactions lists non-monotone edges, sorted by (Base, Added).
+	Interactions []Interaction `json:"interactions,omitempty"`
+
+	// Performance verdict: the best-makespan lattice point and the
+	// minimal sets within the tolerance of it. Empty when no lattice
+	// point completed within the horizon.
+	PerfBestSet        string   `json:"perf_best_set,omitempty"`
+	PerfBestMakespanNs int64    `json:"perf_best_makespan_ns,omitempty"`
+	PerfMinimalFixSets []string `json:"perf_minimal_fix_sets,omitempty"`
+}
+
+// Key renders the cell coordinate, mirroring campaign scenario keys
+// minus the config dimension.
+func (c *Cell) Key() string {
+	return fmt.Sprintf("%s/%s/s%d", c.Topology, c.Workload, c.Seed)
+}
+
+// Report is the aggregate bisect artifact.
+type Report struct {
+	Version    int   `json:"version"`
+	BaseSeed   int64 `json:"base_seed"`
+	ScaleMilli int64 `json:"scale_milli"`
+	HorizonNs  int64 `json:"horizon_ns"`
+	// CheckerSNs / CheckerMNs record the sanity-checker lens the sweep
+	// used; verdicts are only comparable across equal lenses.
+	CheckerSNs       int64   `json:"checker_s_ns"`
+	CheckerMNs       int64   `json:"checker_m_ns"`
+	PerfTolerancePct float64 `json:"perf_tolerance_pct"`
+	// Cells are sorted by (Topology, Workload, Seed).
+	Cells []Cell `json:"cells"`
+	// Campaign embeds the full per-scenario artifact the verdicts were
+	// derived from, so campaign.Compare works on bisect baselines.
+	Campaign *campaign.Campaign `json:"campaign"`
+}
+
+// Cell returns the cell with the given coordinates, or nil.
+func (r *Report) Cell(topology, workload string, seed int64) *Cell {
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Topology == topology && c.Workload == workload && c.Seed == seed {
+			return c
+		}
+	}
+	return nil
+}
+
+// Analyze walks the lattice of an already-run campaign. The campaign
+// must contain, for every (topology, workload, seed) cell, all 16
+// lattice configurations (extra non-lattice configs are ignored). The
+// checker lens is read from the artifact itself — never from the
+// options — so re-analyzing a loaded or shard-merged artifact cannot
+// mislabel the report or apply the wrong interaction threshold.
+// Analysis is a pure function of the artifact plus PerfTolerancePct,
+// and reproduces the report byte for byte.
+func Analyze(c *campaign.Campaign, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if c.CheckerSNs == 0 || c.CheckerMNs == 0 {
+		return nil, fmt.Errorf("bisect: campaign artifact records no checker lens")
+	}
+	type cellKey struct {
+		topo, load string
+		seed       int64
+	}
+	cells := map[cellKey]*[NumSets]*campaign.Result{}
+	var order []cellKey
+	for i := range c.Results {
+		res := &c.Results[i]
+		f, ok := ParseConfigName(res.Config)
+		if !ok {
+			continue
+		}
+		k := cellKey{res.Topology, res.Workload, res.Seed}
+		lat := cells[k]
+		if lat == nil {
+			lat = new([NumSets]*campaign.Result)
+			cells[k] = lat
+			order = append(order, k)
+		}
+		if lat[f] != nil {
+			return nil, fmt.Errorf("bisect: duplicate lattice result %s (merged shards overlap?)", res.Key)
+		}
+		lat[f] = res
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("bisect: campaign contains no lattice (fx-*) results")
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.topo != b.topo {
+			return a.topo < b.topo
+		}
+		if a.load != b.load {
+			return a.load < b.load
+		}
+		return a.seed < b.seed
+	})
+
+	r := &Report{
+		Version:          Version,
+		BaseSeed:         c.BaseSeed,
+		ScaleMilli:       c.ScaleMilli,
+		HorizonNs:        c.HorizonNs,
+		CheckerSNs:       c.CheckerSNs,
+		CheckerMNs:       c.CheckerMNs,
+		PerfTolerancePct: opts.PerfTolerancePct,
+		Campaign:         c,
+	}
+	for _, k := range order {
+		lat := cells[k]
+		for f := range lat {
+			if lat[f] == nil {
+				return nil, fmt.Errorf("bisect: cell %s/%s/s%d is missing lattice config %s",
+					k.topo, k.load, k.seed, FixSet(f).ConfigName())
+			}
+		}
+		cell := analyzeCell(k.topo, k.load, k.seed, lat, c.CheckerMNs, opts)
+		r.Cells = append(r.Cells, cell)
+	}
+	return r, nil
+}
+
+// analyzeCell runs the memoized lattice walks for one cell. windowNs is
+// the artifact's monitoring window, used as the interaction threshold.
+func analyzeCell(topo, load string, seed int64, lat *[NumSets]*campaign.Result, windowNs int64, opts Options) Cell {
+	base := lat[0]
+	cell := Cell{
+		Topology:           topo,
+		Workload:           load,
+		Seed:               seed,
+		BaselineViolations: base.Violations,
+		BaselineIdleNs:     base.IdleWhileOverloadedNs,
+	}
+	if len(base.EpisodeClasses) > 0 {
+		cell.BaselineClasses = base.EpisodeClasses
+	}
+
+	// Episode verdict: clean(f) zeroes every baseline class.
+	baseClasses := sortedKeys(base.EpisodeClasses)
+	if len(baseClasses) > 0 {
+		clean := func(f FixSet) bool {
+			for _, cl := range baseClasses {
+				if lat[f].EpisodeClasses[cl] > 0 {
+					return false
+				}
+			}
+			return true
+		}
+		minimal := minimalSets(clean)
+		cell.Unresolved = len(minimal) == 0
+		for _, f := range minimal {
+			cell.MinimalFixSets = append(cell.MinimalFixSets, f.String())
+			residual := int64(0)
+			for cl, ns := range lat[f].IdleNsByClass {
+				if base.EpisodeClasses[cl] == 0 {
+					residual += ns
+				}
+			}
+			if residual > 0 {
+				if cell.ResidualIdleNs == nil {
+					cell.ResidualIdleNs = map[string]int64{}
+				}
+				cell.ResidualIdleNs[f.String()] = residual
+			}
+		}
+
+		// Per-class verdicts.
+		for _, cl := range baseClasses {
+			cv := ClassVerdict{
+				Class:            cl,
+				BaselineEpisodes: base.EpisodeClasses[cl],
+				BaselineIdleNs:   base.IdleNsByClass[cl],
+			}
+			minimal := minimalSets(func(f FixSet) bool { return lat[f].EpisodeClasses[cl] == 0 })
+			cv.Unresolved = len(minimal) == 0
+			for _, f := range minimal {
+				cv.MinimalFixSets = append(cv.MinimalFixSets, f.String())
+			}
+			cell.ClassVerdicts = append(cell.ClassVerdicts, cv)
+		}
+	}
+
+	// Non-monotone edges: adding one fix re-introduces more than one
+	// monitoring window of idle-while-overloaded time.
+	threshold := windowNs
+	for _, f := range All() {
+		for _, bit := range Singles() {
+			if f.Has(bit) {
+				continue
+			}
+			g := f | bit
+			if lat[g].IdleWhileOverloadedNs > lat[f].IdleWhileOverloadedNs+threshold {
+				cell.Interactions = append(cell.Interactions, Interaction{
+					Base:           f.String(),
+					Added:          bit.String(),
+					Combined:       g.String(),
+					BaseIdleNs:     lat[f].IdleWhileOverloadedNs,
+					CombinedIdleNs: lat[g].IdleWhileOverloadedNs,
+					Classes:        lat[g].EpisodeClasses,
+				})
+			}
+		}
+	}
+	sort.Slice(cell.Interactions, func(i, j int) bool {
+		a, b := cell.Interactions[i], cell.Interactions[j]
+		if a.Base != b.Base {
+			return a.Base < b.Base
+		}
+		return a.Added < b.Added
+	})
+
+	// Performance verdict over completed runs.
+	best := FixSet(0)
+	bestNs := int64(-1)
+	for _, f := range All() {
+		if !lat[f].Completed {
+			continue
+		}
+		if bestNs < 0 || lat[f].MakespanNs < bestNs {
+			best, bestNs = f, lat[f].MakespanNs
+		}
+	}
+	if bestNs >= 0 {
+		cell.PerfBestSet = best.String()
+		cell.PerfBestMakespanNs = bestNs
+		limit := float64(bestNs) * (1 + opts.PerfTolerancePct/100)
+		qualifies := func(f FixSet) bool {
+			return lat[f].Completed && float64(lat[f].MakespanNs) <= limit
+		}
+		for _, f := range minimalSets(qualifies) {
+			cell.PerfMinimalFixSets = append(cell.PerfMinimalFixSets, f.String())
+		}
+	}
+	return cell
+}
+
+// minimalSets walks the lattice bottom-up (by popcount) and returns the
+// minimal elements of the family {f : ok(f)}: every ok set none of whose
+// proper subsets is ok. ok is evaluated exactly once per lattice point
+// (the memoized cells); subset reachability propagates through the Hasse
+// diagram (f covers f&^bit) instead of re-enumerating subsets.
+func minimalSets(ok func(FixSet) bool) []FixSet {
+	var okMemo, subsetOK [NumSets]bool
+	for mask := 0; mask < NumSets; mask++ {
+		f := FixSet(mask)
+		okMemo[mask] = ok(f)
+		for _, bit := range Singles() {
+			if f.Has(bit) {
+				child := mask &^ int(bit)
+				if okMemo[child] || subsetOK[child] {
+					subsetOK[mask] = true
+					break
+				}
+			}
+		}
+	}
+	var out []FixSet
+	for mask := 0; mask < NumSets; mask++ {
+		if okMemo[mask] && !subsetOK[mask] {
+			out = append(out, FixSet(mask))
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- seed stability ------------------------------------------------------
+
+// Stability reports whether a (topology, workload) cell's verdict is
+// identical across every seed of the sweep.
+type Stability struct {
+	Topology string
+	Workload string
+	Seeds    []int64
+	Stable   bool
+	// Signatures maps each distinct verdict signature to the seeds that
+	// produced it (one entry when Stable).
+	Signatures map[string][]int64
+}
+
+// verdictSignature is the canonical comparison string of a cell's
+// verdict: minimal sets, per-class minimal sets, perf minimal sets and
+// interaction edges — everything except raw metric values, which
+// legitimately jitter across seeds.
+func (c *Cell) verdictSignature() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "minimal=%v unresolved=%v perf=%v", c.MinimalFixSets, c.Unresolved, c.PerfMinimalFixSets)
+	for _, cv := range c.ClassVerdicts {
+		fmt.Fprintf(&b, " %s=%v", cv.Class, cv.MinimalFixSets)
+	}
+	var edges []string
+	for _, in := range c.Interactions {
+		edges = append(edges, in.Base+"+"+in.Added)
+	}
+	sort.Strings(edges)
+	fmt.Fprintf(&b, " interactions=%v", edges)
+	return b.String()
+}
+
+// SeedStability groups cells by (topology, workload) and compares their
+// verdict signatures across seeds, in cell order.
+func (r *Report) SeedStability() []Stability {
+	type key struct{ topo, load string }
+	byCell := map[key]*Stability{}
+	var order []key
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		k := key{c.Topology, c.Workload}
+		st := byCell[k]
+		if st == nil {
+			st = &Stability{Topology: c.Topology, Workload: c.Workload,
+				Signatures: map[string][]int64{}}
+			byCell[k] = st
+			order = append(order, k)
+		}
+		st.Seeds = append(st.Seeds, c.Seed)
+		sig := c.verdictSignature()
+		st.Signatures[sig] = append(st.Signatures[sig], c.Seed)
+	}
+	var out []Stability
+	for _, k := range order {
+		st := byCell[k]
+		st.Stable = len(st.Signatures) == 1
+		out = append(out, *st)
+	}
+	return out
+}
+
+// --- artifact IO ---------------------------------------------------------
+
+// EncodeJSON renders the report as stable, indented JSON with a trailing
+// newline. Identical reports encode to identical bytes.
+func (r *Report) EncodeJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteFile writes the JSON artifact to path.
+func (r *Report) WriteFile(path string) error {
+	data, err := r.EncodeJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a bisect artifact written by WriteFile.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bisect: parsing %s: %w", path, err)
+	}
+	if r.Version != Version {
+		return nil, fmt.Errorf("bisect: %s has artifact version %d, want %d", path, r.Version, Version)
+	}
+	if r.Campaign == nil {
+		return nil, fmt.Errorf("bisect: %s has no embedded campaign artifact", path)
+	}
+	if r.Campaign.Version != campaign.Version {
+		return nil, fmt.Errorf("bisect: %s embeds campaign artifact version %d, want %d",
+			path, r.Campaign.Version, campaign.Version)
+	}
+	return &r, nil
+}
+
+// FormatSummary renders the report as a human-readable verdict list.
+func (r *Report) FormatSummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bisect: %d cells x %d lattice points (base seed %d, scale %.3g, checker S=%v M=%v)\n",
+		len(r.Cells), NumSets, r.BaseSeed, float64(r.ScaleMilli)/1000,
+		sim.Time(r.CheckerSNs), sim.Time(r.CheckerMNs))
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		fmt.Fprintf(&b, "\n%s:\n", c.Key())
+		if c.BaselineViolations == 0 {
+			fmt.Fprintf(&b, "  baseline clean: no confirmed idle-while-overloaded episodes\n")
+		} else {
+			fmt.Fprintf(&b, "  baseline: %d episodes, %v idle-while-overloaded (%s)\n",
+				c.BaselineViolations, sim.Time(c.BaselineIdleNs), formatClasses(c.BaselineClasses))
+			if c.Unresolved {
+				fmt.Fprintf(&b, "  minimal fix sets: UNRESOLVED (no lattice point zeroes every baseline class)\n")
+			} else {
+				fmt.Fprintf(&b, "  minimal fix sets: %s\n", formatNamedSets(c.MinimalFixSets))
+			}
+			for _, cv := range c.ClassVerdicts {
+				verdict := formatNamedSets(cv.MinimalFixSets)
+				if cv.Unresolved {
+					verdict = "UNRESOLVED"
+				}
+				fmt.Fprintf(&b, "    %-20s %3d episodes, %12v -> %s\n",
+					cv.Class, cv.BaselineEpisodes, sim.Time(cv.BaselineIdleNs), verdict)
+			}
+		}
+		for _, in := range c.Interactions {
+			fmt.Fprintf(&b, "  non-monotone: {%s} +%s -> {%s}: %v -> %v idle-while-overloaded (%s)\n",
+				in.Base, in.Added, in.Combined,
+				sim.Time(in.BaseIdleNs), sim.Time(in.CombinedIdleNs), formatClasses(in.Classes))
+		}
+		if c.PerfBestSet != "" {
+			fmt.Fprintf(&b, "  perf: best {%s} at %v; minimal within %.3g%%: %s\n",
+				c.PerfBestSet, sim.Time(c.PerfBestMakespanNs), r.PerfTolerancePct,
+				formatNamedSets(c.PerfMinimalFixSets))
+		}
+	}
+	return b.String()
+}
+
+func formatNamedSets(names []string) string {
+	if len(names) == 0 {
+		return "(none)"
+	}
+	var parts []string
+	for _, n := range names {
+		parts = append(parts, "{"+n+"}")
+	}
+	return strings.Join(parts, " | ")
+}
+
+func formatClasses(m map[string]int) string {
+	if len(m) == 0 {
+		return "no classes"
+	}
+	var parts []string
+	for _, k := range sortedKeys(m) {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, m[k]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -40,7 +40,11 @@ import (
 	"repro/internal/sim"
 )
 
-// Version identifies the artifact schema; bump on incompatible change.
+// Version identifies the artifact schema; bump on incompatible change
+// only. Additive fields (the per-class episode breakdown and the
+// checker-lens stamp) do not bump it: older artifacts still parse, and
+// consumers needing the new fields diagnose their absence themselves
+// (see bisect.Analyze).
 const Version = 1
 
 // Result is one scenario's collected metrics. All fields are derived
@@ -80,6 +84,12 @@ type Result struct {
 	// (DetectedAt..ConfirmedAt): virtual time during which a core
 	// provably sat idle while another was overloaded.
 	IdleWhileOverloadedNs int64 `json:"idle_while_overloaded_ns"`
+	// EpisodeClasses counts confirmed violations per bug signature
+	// (checker.Classify); absent when the run is clean. Map keys encode
+	// sorted, so the artifact stays byte-stable.
+	EpisodeClasses map[string]int `json:"episode_classes,omitempty"`
+	// IdleNsByClass splits IdleWhileOverloadedNs by bug signature.
+	IdleNsByClass map[string]int64 `json:"idle_ns_by_class,omitempty"`
 
 	// TraceEvents counts trace-recorder events captured around confirmed
 	// violations (zero unless RunnerOpts.Trace).
@@ -100,6 +110,14 @@ type Campaign struct {
 	ScaleMilli int64 `json:"scale_milli"`
 	// HorizonNs is the per-scenario virtual-time bound.
 	HorizonNs int64 `json:"horizon_ns"`
+	// CheckerSNs / CheckerMNs record the sanity-checker lens every
+	// scenario ran under (check interval and monitoring window, after
+	// campaign defaulting). Consumers that reason over episode counts —
+	// the bisect lattice walk — read the lens from the artifact rather
+	// than trusting their caller, so re-analyzing a loaded or merged
+	// artifact cannot mislabel it.
+	CheckerSNs int64 `json:"checker_s_ns"`
+	CheckerMNs int64 `json:"checker_m_ns"`
 	// Results are sorted by Key — insertion order (and therefore worker
 	// scheduling) cannot leak into the artifact.
 	Results []Result `json:"results"`

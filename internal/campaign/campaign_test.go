@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"math/rand"
 	"path/filepath"
+	"runtime"
 	"testing"
 
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -191,16 +193,138 @@ func TestCompare(t *testing.T) {
 }
 
 func TestWorkloadByName(t *testing.T) {
-	for _, name := range []string{"make2r", "tpch", "globalq", "nas:lu", "nas:ep", "nas-pin:lu", "nas-pin:cg"} {
+	for _, name := range []string{"make2r", "tpch", "globalq", "nas:lu", "nas:ep", "nas-pin:lu", "nas-pin:cg",
+		"nas-hotplug:lu", "nas-hotplug:cg"} {
 		w, ok := WorkloadByName(name)
 		if !ok || w.Name != name {
 			t.Errorf("WorkloadByName(%q) = %q, %v", name, w.Name, ok)
 		}
 	}
-	for _, name := range []string{"nas:nope", "nas-pin:nope", "bogus"} {
+	for _, name := range []string{"nas:nope", "nas-pin:nope", "nas-hotplug:nope", "bogus"} {
 		if _, ok := WorkloadByName(name); ok {
 			t.Errorf("WorkloadByName(%q) unexpectedly ok", name)
 		}
+	}
+}
+
+// TestLatticeConfigs: the 2^4 lattice enumerates distinct names and
+// feature sets, bounded by the fully-buggy and fully-fixed kernels, and
+// every lattice name resolves through ConfigByName.
+func TestLatticeConfigs(t *testing.T) {
+	configs := LatticeConfigs()
+	if len(configs) != 16 {
+		t.Fatalf("lattice size = %d, want 16", len(configs))
+	}
+	if configs[0].Name != "fx-none" {
+		t.Errorf("mask 0 = %q, want fx-none", configs[0].Name)
+	}
+	if configs[15].Name != "fx-gi+gc+oow+md" {
+		t.Errorf("mask 15 = %q, want fx-gi+gc+oow+md", configs[15].Name)
+	}
+	if configs[0].Config.Features != (sched.Features{}) {
+		t.Error("fx-none has fixes enabled")
+	}
+	if configs[15].Config.Features != sched.AllFixes() {
+		t.Error("full mask misses fixes")
+	}
+	seenName := map[string]bool{}
+	seenFeat := map[sched.Features]bool{}
+	for mask, c := range configs {
+		if seenName[c.Name] || seenFeat[c.Config.Features] {
+			t.Fatalf("mask %d duplicates name or features (%s)", mask, c.Name)
+		}
+		seenName[c.Name] = true
+		seenFeat[c.Config.Features] = true
+		got, ok := ConfigByName(c.Name)
+		if !ok || got.Name != c.Name || got.Config.Features != c.Config.Features {
+			t.Errorf("ConfigByName(%q) mismatch", c.Name)
+		}
+	}
+	if len(LatticeFixNames()) != 4 {
+		t.Error("LatticeFixNames wrong length")
+	}
+}
+
+// latticeMatrix is a one-cell lattice over a scenario with confirmed
+// episodes, so the per-class artifact fields are exercised.
+func latticeMatrix() Matrix {
+	return Matrix{
+		Topologies: MustTopologies("bulldozer8"),
+		Workloads:  MustWorkloads("nas-pin:lu"),
+		Configs:    LatticeConfigs(),
+		Seeds:      []int64{1},
+		Scale:      0.25,
+		Horizon:    100 * sim.Second,
+	}
+}
+
+// TestLatticeDeterminism extends the determinism property to the
+// lattice artifacts with their per-class episode maps: byte-identical
+// for workers 1, 4 and NumCPU, and for shuffled scenario order.
+func TestLatticeDeterminism(t *testing.T) {
+	m := latticeMatrix()
+	var artifacts [][]byte
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		c, err := Run(m, RunnerOpts{Workers: workers, BaseSeed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := c.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		artifacts = append(artifacts, data)
+	}
+	for i := 1; i < len(artifacts); i++ {
+		if !bytes.Equal(artifacts[0], artifacts[i]) {
+			t.Fatalf("lattice artifact differs across worker counts (run %d)", i)
+		}
+	}
+	scs := m.Scenarios()
+	rand.New(rand.NewSource(3)).Shuffle(len(scs), func(i, j int) {
+		scs[i], scs[j] = scs[j], scs[i]
+	})
+	perm, err := RunScenarios(scs, RunnerOpts{Workers: 4, BaseSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := perm.EncodeJSON()
+	if !bytes.Equal(artifacts[0], data) {
+		t.Fatal("lattice artifact depends on scenario order")
+	}
+}
+
+// TestEpisodeClassBreakdown: a buggy run's artifact carries the
+// per-class episode maps, and they add up to the totals.
+func TestEpisodeClassBreakdown(t *testing.T) {
+	c, err := Run(latticeMatrix(), RunnerOpts{Workers: 4, BaseSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buggy := c.Result("bulldozer8/nas-pin:lu/fx-none/s1")
+	if buggy == nil || buggy.Violations == 0 {
+		t.Fatal("buggy lattice point clean; cannot exercise the breakdown")
+	}
+	if buggy.EpisodeClasses["group-construction"] == 0 {
+		t.Errorf("episode classes = %v, want group-construction", buggy.EpisodeClasses)
+	}
+	episodes, idle := 0, int64(0)
+	for _, n := range buggy.EpisodeClasses {
+		episodes += n
+	}
+	for _, ns := range buggy.IdleNsByClass {
+		idle += ns
+	}
+	if episodes != buggy.Violations || idle != buggy.IdleWhileOverloadedNs {
+		t.Errorf("breakdown does not sum: %d/%d episodes, %d/%d ns",
+			episodes, buggy.Violations, idle, buggy.IdleWhileOverloadedNs)
+	}
+	fixed := c.Result("bulldozer8/nas-pin:lu/fx-gc/s1")
+	if fixed == nil {
+		t.Fatal("fx-gc lattice point missing")
+	}
+	if fixed.EpisodeClasses["group-construction"] != 0 {
+		t.Errorf("fixed run still shows group-construction episodes: %v", fixed.EpisodeClasses)
 	}
 }
 

@@ -155,14 +155,83 @@ func BuiltinConfigs() []ConfigSpec {
 	}
 }
 
-// ConfigByName finds a builtin configuration spec.
+// ConfigByName finds a builtin configuration spec, including the 16
+// "fx-*" lattice configurations (see LatticeConfigs).
 func ConfigByName(name string) (ConfigSpec, bool) {
 	for _, c := range BuiltinConfigs() {
 		if c.Name == name {
 			return c, true
 		}
 	}
+	if strings.HasPrefix(name, "fx-") {
+		for _, c := range LatticeConfigs() {
+			if c.Name == name {
+				return c, true
+			}
+		}
+	}
 	return ConfigSpec{}, false
+}
+
+// latticeFixes are the paper's four fixes in canonical lattice order:
+// bit i of a lattice mask toggles latticeFixes[i]. The short names are
+// the ones ROADMAP and the bisect package use (gi, gc, oow, md).
+var latticeFixes = []struct {
+	Name string
+	Set  func(*sched.Features)
+}{
+	{"gi", func(f *sched.Features) { f.FixGroupImbalance = true }},
+	{"gc", func(f *sched.Features) { f.FixGroupConstruction = true }},
+	{"oow", func(f *sched.Features) { f.FixOverloadWakeup = true }},
+	{"md", func(f *sched.Features) { f.FixMissingDomains = true }},
+}
+
+// LatticeFixNames lists the short fix names in canonical bit order.
+func LatticeFixNames() []string {
+	names := make([]string, len(latticeFixes))
+	for i, fx := range latticeFixes {
+		names[i] = fx.Name
+	}
+	return names
+}
+
+// LatticeConfigName renders the canonical config name of one lattice
+// mask: "fx-none" for the studied kernel, else "fx-" plus the enabled
+// short names joined with "+" in canonical order (e.g. "fx-gi+oow").
+func LatticeConfigName(mask int) string {
+	var parts []string
+	for i, fx := range latticeFixes {
+		if mask&(1<<i) != 0 {
+			parts = append(parts, fx.Name)
+		}
+	}
+	if len(parts) == 0 {
+		return "fx-none"
+	}
+	return "fx-" + strings.Join(parts, "+")
+}
+
+// LatticeConfigs enumerates the full 2^4 bug-fix lattice: one ConfigSpec
+// per subset of the paper's four fixes, indexed by mask (element mask has
+// exactly the fixes of its set bits enabled). LatticeConfigs()[0] is the
+// studied kernel, LatticeConfigs()[15] the fully fixed one. The bisection
+// subsystem fans these through the campaign runner to name minimal fix
+// sets per scenario.
+func LatticeConfigs() []ConfigSpec {
+	out := make([]ConfigSpec, 0, 1<<len(latticeFixes))
+	for mask := 0; mask < 1<<len(latticeFixes); mask++ {
+		var f sched.Features
+		for i, fx := range latticeFixes {
+			if mask&(1<<i) != 0 {
+				fx.Set(&f)
+			}
+		}
+		out = append(out, ConfigSpec{
+			Name:   LatticeConfigName(mask),
+			Config: sched.DefaultConfig().WithFixes(f),
+		})
+	}
+	return out
 }
 
 // specNames joins the Name fields for usage strings.
@@ -192,14 +261,42 @@ func WorkloadNames() string {
 
 // --- preset matrices -----------------------------------------------------
 
+// MustTopologies resolves builtin topology names, panicking on unknown
+// ones — for presets and test fixtures where the names are literals.
+func MustTopologies(names ...string) []TopologySpec {
+	var out []TopologySpec
+	for _, n := range names {
+		t, ok := TopologyByName(n)
+		if !ok {
+			panic("campaign: unknown builtin topology " + n)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// MustWorkloads resolves builtin workload names (including the dynamic
+// nas:/nas-pin:/nas-hotplug: families), panicking on unknown ones.
+func MustWorkloads(names ...string) []Workload {
+	var out []Workload
+	for _, n := range names {
+		w, ok := WorkloadByName(n)
+		if !ok {
+			panic("campaign: unknown builtin workload " + n)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
 // DefaultMatrix is the standard 30-scenario sweep: both paper machines;
 // the §3.1 make+R mix, the Table 1 pinned NAS run, and the §3.3
 // database; the studied kernel against the three single-fix kernels
 // those workloads are sensitive to, and the fully-fixed kernel.
 func DefaultMatrix() Matrix {
 	return Matrix{
-		Topologies: pickTopologies("bulldozer8", "machine32"),
-		Workloads:  pickWorkloads("make2r", "nas-pin:lu", "tpch"),
+		Topologies: MustTopologies("bulldozer8", "machine32"),
+		Workloads:  MustWorkloads("make2r", "nas-pin:lu", "tpch"),
 		Configs:    pickConfigs("bugs", "fix-gi", "fix-gc", "fix-oow", "fixed"),
 		Seeds:      []int64{1},
 	}
@@ -208,8 +305,8 @@ func DefaultMatrix() Matrix {
 // SmokeMatrix is a small fast sweep for tests and CI.
 func SmokeMatrix() Matrix {
 	return Matrix{
-		Topologies: pickTopologies("smp8", "twonode8"),
-		Workloads:  pickWorkloads("make2r", "globalq"),
+		Topologies: MustTopologies("smp8", "twonode8"),
+		Workloads:  MustWorkloads("make2r", "globalq"),
 		Configs:    pickConfigs("bugs", "fixed"),
 		Seeds:      []int64{1},
 		Scale:      0.1,
@@ -240,18 +337,6 @@ func MatrixByName(name string) (Matrix, bool) {
 	return Matrix{}, false
 }
 
-func pickTopologies(names ...string) []TopologySpec {
-	var out []TopologySpec
-	for _, n := range names {
-		t, ok := TopologyByName(n)
-		if !ok {
-			panic("campaign: unknown builtin topology " + n)
-		}
-		out = append(out, t)
-	}
-	return out
-}
-
 func pickConfigs(names ...string) []ConfigSpec {
 	var out []ConfigSpec
 	for _, n := range names {
@@ -260,18 +345,6 @@ func pickConfigs(names ...string) []ConfigSpec {
 			panic("campaign: unknown builtin config " + n)
 		}
 		out = append(out, c)
-	}
-	return out
-}
-
-func pickWorkloads(names ...string) []Workload {
-	var out []Workload
-	for _, n := range names {
-		w, ok := WorkloadByName(n)
-		if !ok {
-			panic("campaign: unknown builtin workload " + n)
-		}
-		out = append(out, w)
 	}
 	return out
 }

@@ -28,16 +28,30 @@ type RunnerOpts struct {
 	// systemtap" profiling); the captured event count lands in the
 	// artifact.
 	Trace bool
-	// Checker overrides the sanity-checker tuning. The zero value uses
-	// campaign defaults — a 100ms check interval with a 50ms monitoring
-	// window, denser than the paper's 1s/100ms so that scaled-down
-	// scenario runs (often well under a virtual second) still get
-	// invariant coverage.
+	// Checker overrides the sanity-checker tuning. Zero fields take the
+	// campaign defaults (see effectiveChecker); the resolved lens is
+	// stamped into the artifact.
 	Checker checker.Config
 	// OnResult, when non-nil, is called from worker goroutines as each
 	// scenario finishes (for progress reporting). Calls may arrive in
 	// any order; the callback must be safe for concurrent use.
 	OnResult func(Result)
+}
+
+// effectiveChecker resolves the campaign's checker defaults: a 100ms
+// check interval with a 50ms monitoring window, denser than the paper's
+// 1s/100ms so that scaled-down scenario runs still get invariant
+// coverage. Both runScenario and the artifact stamp use this one
+// resolution.
+func (o RunnerOpts) effectiveChecker() checker.Config {
+	cfg := o.Checker
+	if cfg.S == 0 {
+		cfg.S = 100 * sim.Millisecond
+	}
+	if cfg.M == 0 {
+		cfg.M = 50 * sim.Millisecond
+	}
+	return cfg
 }
 
 // DeriveSeed maps (base seed, scenario key, scenario seed) to the engine
@@ -73,7 +87,9 @@ func RunScenarios(scenarios []Scenario, opts RunnerOpts) (*Campaign, error) {
 		}
 		return r
 	})
-	c := &Campaign{Version: Version, BaseSeed: opts.BaseSeed, Results: results}
+	ck := opts.effectiveChecker()
+	c := &Campaign{Version: Version, BaseSeed: opts.BaseSeed,
+		CheckerSNs: int64(ck.S), CheckerMNs: int64(ck.M), Results: results}
 	// Stamp the campaign-wide scale and horizon only when they are
 	// uniform across scenarios; a mixed list leaves them zero rather
 	// than mislabeling the artifact with the first scenario's values.
@@ -164,14 +180,7 @@ func runScenario(sc Scenario, opts RunnerOpts) Result {
 		rec = trace.NewRecorder(1 << 16)
 		m.SetRecorder(rec)
 	}
-	ckCfg := opts.Checker
-	if ckCfg.S == 0 {
-		ckCfg.S = 100 * sim.Millisecond
-	}
-	if ckCfg.M == 0 {
-		ckCfg.M = 50 * sim.Millisecond
-	}
-	ck := checker.New(m.Sched, rec, ckCfg)
+	ck := checker.New(m.Sched, rec, opts.effectiveChecker())
 	ck.Start()
 	defer ck.Stop()
 
@@ -184,8 +193,18 @@ func runScenario(sc Scenario, opts RunnerOpts) Result {
 	})
 
 	var idleOverloaded sim.Time
-	for _, v := range ck.Violations() {
-		idleOverloaded += v.ConfirmedAt - v.DetectedAt
+	var classes map[string]int
+	var idleByClass map[string]int64
+	if violations := ck.Violations(); len(violations) > 0 {
+		classes = map[string]int{}
+		idleByClass = map[string]int64{}
+		for cl, n := range ck.EpisodesByClass() {
+			classes[string(cl)] = n
+		}
+		for cl, d := range ck.IdleByClass() {
+			idleByClass[string(cl)] = int64(d)
+			idleOverloaded += d
+		}
 	}
 	r := Result{
 		Key:                   key,
@@ -203,6 +222,8 @@ func runScenario(sc Scenario, opts RunnerOpts) Result {
 		CheckerTransients:     ck.Transients(),
 		Violations:            len(ck.Violations()),
 		IdleWhileOverloadedNs: int64(idleOverloaded),
+		EpisodeClasses:        classes,
+		IdleNsByClass:         idleByClass,
 		Extra:                 outcome.Extra,
 	}
 	if rec != nil {

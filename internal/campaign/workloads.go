@@ -51,6 +51,7 @@ func BuiltinWorkloads() []Workload {
 		nasWorkload("cg"),
 		nasWorkload("ep"),
 		nasPinnedWorkload("lu"),
+		nasHotplugWorkload("lu"),
 		globalqWorkload(),
 	}
 }
@@ -71,6 +72,11 @@ func WorkloadByName(name string) (Workload, bool) {
 	if app, ok := strings.CutPrefix(name, "nas-pin:"); ok {
 		if _, found := workload.NASAppByName(app); found {
 			return nasPinnedWorkload(app), true
+		}
+	}
+	if app, ok := strings.CutPrefix(name, "nas-hotplug:"); ok {
+		if _, found := workload.NASAppByName(app); found {
+			return nasHotplugWorkload(app), true
 		}
 	}
 	return Workload{}, false
@@ -228,6 +234,38 @@ func brokenNodePair(t *topology.Topology) (a, b topology.NodeID, ok bool) {
 		}
 	}
 	return fallbackA, fallbackB, bestHops > 0
+}
+
+// nasHotplugWorkload is the Table 3 configuration (§3.4): disable and
+// re-enable the machine's last core, then launch the NPB program with as
+// many threads as cores, all forked from core 0. With the Missing
+// Scheduling Domains bug the regeneration after hotplug drops every
+// node-spanning level, so the threads never leave the spawn node; the
+// fix restores them. On single-node machines the hotplug cycle is
+// harmless and the run degrades to a plain NAS run.
+func nasHotplugWorkload(name string) Workload {
+	return Workload{Name: "nas-hotplug:" + name, Run: func(rc *RunContext) Outcome {
+		app, ok := workload.NASAppByName(name)
+		if !ok {
+			panic("campaign: unknown NAS app " + name)
+		}
+		last := topology.CoreID(rc.Topo.NumCores() - 1)
+		if err := rc.M.DisableCore(last); err != nil {
+			panic(err)
+		}
+		if err := rc.M.EnableCore(last); err != nil {
+			panic(err)
+		}
+		rc.M.Run(10 * sim.Millisecond)
+		p := app.Launch(rc.M, workload.NASLaunchOpts{
+			Threads:   rc.Topo.NumCores(),
+			SpawnCore: 0,
+			Seed:      rc.Seed,
+			Scale:     rc.Scale,
+		})
+		end, done := rc.M.RunUntilDone(rc.Horizon, p)
+		return Outcome{Makespan: end, Completed: done}
+	}}
 }
 
 // tpchWorkload is the §3.3 commercial database: a worker pool split into

@@ -76,15 +76,19 @@ type Violation struct {
 	// monitoring window (the "thread operations" Algorithm 2 tracks:
 	// these are the events that could have fixed the violation).
 	MigrationsDuring uint64
-	// ForksDuring / ExitsDuring likewise.
+	// ForksDuring likewise.
 	ForksDuring uint64
-	ExitsDuring uint64
+	// WakeupsOnBusyDuring counts wakeups placed on busy cores during the
+	// monitoring window — the §3.3 symptom feeding the classification.
+	WakeupsOnBusyDuring uint64
+	// Class is the bug signature this episode matches (see Classify).
+	Class Class
 }
 
 // String renders a one-line bug report.
 func (v Violation) String() string {
-	return fmt.Sprintf("invariant violated from %v to %v: cpu %d idle while cpu %d overloaded (migrations during window: %d)",
-		v.DetectedAt, v.ConfirmedAt, v.IdleCPU, v.OverloadedCPU, v.MigrationsDuring)
+	return fmt.Sprintf("invariant violated from %v to %v: cpu %d idle while cpu %d overloaded (class %s, migrations during window: %d)",
+		v.DetectedAt, v.ConfirmedAt, v.IdleCPU, v.OverloadedCPU, v.Class, v.MigrationsDuring)
 }
 
 // Checker watches a scheduler for work-conservation violations.
@@ -192,13 +196,16 @@ func (c *Checker) beginMonitoring(idle, busy topology.CoreID) {
 
 func (c *Checker) flag(detectedAt sim.Time, idle, busy topology.CoreID, start sched.Counters) {
 	nowCounters := c.s.Counters()
+	wakeupsOnBusy := nowCounters.WakeupsOnBusy - start.WakeupsOnBusy
 	v := Violation{
-		DetectedAt:       detectedAt,
-		ConfirmedAt:      c.eng.Now(),
-		IdleCPU:          idle,
-		OverloadedCPU:    busy,
-		MigrationsDuring: nowCounters.Migrations - start.Migrations,
-		ForksDuring:      nowCounters.Forks - start.Forks,
+		DetectedAt:          detectedAt,
+		ConfirmedAt:         c.eng.Now(),
+		IdleCPU:             idle,
+		OverloadedCPU:       busy,
+		MigrationsDuring:    nowCounters.Migrations - start.Migrations,
+		ForksDuring:         nowCounters.Forks - start.Forks,
+		WakeupsOnBusyDuring: wakeupsOnBusy,
+		Class:               Classify(c.s, idle, busy, wakeupsOnBusy),
 	}
 	for _, cpu := range c.s.OnlineCPUs() {
 		v.NrRunning = append(v.NrRunning, c.s.NrRunning(cpu))
@@ -221,6 +228,16 @@ func (c *Checker) WriteReport(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "sanity checker report: %d checks, %d candidates, %d transients, %d confirmed violations\n",
 		c.checks, c.candidates, c.transients, len(c.violations)); err != nil {
 		return err
+	}
+	if len(c.violations) > 0 {
+		byClass := c.EpisodesByClass()
+		fmt.Fprintf(w, "episodes by bug signature:")
+		for _, cl := range Classes() {
+			if n := byClass[cl]; n > 0 {
+				fmt.Fprintf(w, " %s=%d", cl, n)
+			}
+		}
+		fmt.Fprintln(w)
 	}
 	for i, v := range c.violations {
 		fmt.Fprintf(w, "\nviolation %d: %s\n", i+1, v)

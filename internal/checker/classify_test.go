@@ -1,0 +1,116 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// TestClassifyMissingDomains: the brokenScenario (hotplug with the §3.4
+// bug) produces violations whose idle core has no domain spanning the
+// overloaded one — the missing-domains signature.
+func TestClassifyMissingDomains(t *testing.T) {
+	m, c, _ := brokenScenario(t)
+	m.Run(2 * sim.Second)
+	if len(c.Violations()) == 0 {
+		t.Fatal("no violation")
+	}
+	for _, v := range c.Violations() {
+		if v.Class != ClassMissingDomains {
+			t.Fatalf("violation classified %q, want %q", v.Class, ClassMissingDomains)
+		}
+	}
+	by := c.EpisodesByClass()
+	if by[ClassMissingDomains] != len(c.Violations()) {
+		t.Fatalf("EpisodesByClass = %v", by)
+	}
+	idle := c.IdleByClass()
+	var sum sim.Time
+	for _, v := range c.Violations() {
+		sum += v.ConfirmedAt - v.DetectedAt
+	}
+	if idle[ClassMissingDomains] != sum {
+		t.Fatalf("IdleByClass = %v, want total %v", idle, sum)
+	}
+	var buf strings.Builder
+	if err := c.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "missing-domains") {
+		t.Fatal("report misses the episode class line")
+	}
+}
+
+// TestClassifyGroupConstruction reproduces the Table 1 pinning pathology
+// on the Bulldozer machine: threads pinned to the 2-hop-apart nodes 1
+// and 2, spawned on node 1. The buggy groups keep node 2 local to every
+// node-1 core, so confirmed violations carry the group-construction
+// signature.
+func TestClassifyGroupConstruction(t *testing.T) {
+	topo := topology.Bulldozer8()
+	m := machine.New(topo, sched.DefaultConfig(), 1)
+	c := New(m.Sched, nil, Config{S: 50 * sim.Millisecond, M: 25 * sim.Millisecond})
+	c.Start()
+	app, ok := workload.NASAppByName("lu")
+	if !ok {
+		t.Fatal("lu missing")
+	}
+	app.Launch(m, workload.NASLaunchOpts{
+		Threads:   16,
+		Affinity:  workload.NodeSet(topo, 1, 2),
+		SpawnCore: topo.CoresOfNode(1)[0],
+		Seed:      1,
+		Scale:     0.25,
+	})
+	m.Run(2 * sim.Second)
+	if len(c.Violations()) == 0 {
+		t.Fatal("pinned run produced no confirmed violations")
+	}
+	by := c.EpisodesByClass()
+	if by[ClassGroupConstruction] == 0 {
+		t.Fatalf("no group-construction episodes: %v", by)
+	}
+}
+
+// TestClassifyGroupImbalance: the §3.1 mix (make threads crowding one
+// side while a high-load R thread idles out its node) must produce
+// group-imbalance-signature episodes — the average-load metric masks the
+// imbalance.
+func TestClassifyGroupImbalance(t *testing.T) {
+	topo := topology.Bulldozer8()
+	m := machine.New(topo, sched.DefaultConfig(), 1)
+	c := New(m.Sched, nil, Config{S: 20 * sim.Millisecond, M: 10 * sim.Millisecond})
+	c.Start()
+	workload.LaunchR(m, topo.CoresOfNode(0)[0], 15*sim.Second)
+	workload.LaunchR(m, topo.CoresOfNode(4)[0], 15*sim.Second)
+	mk := workload.DefaultMakeOpts()
+	mk.Seed = 1
+	mk.Threads = topo.NumCores()
+	mk.JobsPerThread = mk.JobsPerThread / 2
+	mk.SpawnCore = topo.CoresOfNode(7)[0]
+	p := workload.LaunchMake(m, mk)
+	m.RunUntilDone(100*sim.Second, p)
+	by := c.EpisodesByClass()
+	if by[ClassGroupImbalance] == 0 {
+		t.Fatalf("no group-imbalance episodes: %v (violations %d)", by, len(c.Violations()))
+	}
+}
+
+// TestClassesOrder: the report order enumerates every class once.
+func TestClassesOrder(t *testing.T) {
+	seen := map[Class]bool{}
+	for _, cl := range Classes() {
+		if seen[cl] {
+			t.Fatalf("class %q listed twice", cl)
+		}
+		seen[cl] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("Classes() = %d entries, want 5", len(seen))
+	}
+}
