@@ -1,9 +1,16 @@
 # Build / verify targets. `make ci` is what every PR must keep green:
-# the race detector covers the campaign runner's worker pool.
+# the race detector covers the campaign runner's worker pool, and the
+# smoke artifacts are gated against the committed rolling baselines in
+# baselines/ — a scheduler-model change that shifts any scenario's
+# metrics fails the smoke targets with a per-scenario diff. The
+# underlying CLIs exit 3 on regression (vs 2 usage, 1 IO/runtime);
+# make itself folds any recipe failure into its own exit code, so
+# scripts that need the distinction invoke the CLIs directly or check
+# for a non-empty *-diff.txt (what .github/workflows/ci.yml does).
 
 GO ?= go
 
-.PHONY: all build vet test race bench campaign bisect bisect-smoke ci
+.PHONY: all build vet lint test race bench campaign bisect bisect-smoke campaign-smoke baseline-refresh ci
 
 all: ci
 
@@ -11,6 +18,12 @@ build:
 	$(GO) build ./...
 
 vet:
+	$(GO) vet ./...
+
+# gofmt must be clean and vet quiet.
+lint:
+	@drift="$$(gofmt -l .)"; if [ -n "$$drift" ]; then \
+		echo "gofmt drift in:"; echo "$$drift"; exit 1; fi
 	$(GO) vet ./...
 
 test:
@@ -25,7 +38,8 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
 
 # The standard 30-scenario campaign at a fast scale, artifact to
-# campaign.json.
+# campaign.json. Shard it with `-shard i/n` + `-merge`, or re-run
+# incrementally with `-incremental campaign.json`.
 campaign:
 	$(GO) run ./cmd/campaign -matrix default -scale 0.25 -out campaign.json
 
@@ -33,9 +47,22 @@ campaign:
 bisect:
 	$(GO) run ./cmd/bisect -preset default -out bisect.json
 
-# The CI lattice: 32 scenarios under the race detector, artifact kept so
-# it can serve as a rolling baseline (`-baseline bisect-smoke.json`).
+# The CI lattice: 32 scenarios under the race detector, gated against
+# the committed rolling baseline ("exit status 3" in the output = a
+# per-scenario regression, written to bisect-smoke-diff.txt).
 bisect-smoke:
-	$(GO) run -race ./cmd/bisect -preset smoke -q -out bisect-smoke.json
+	$(GO) run -race ./cmd/bisect -preset smoke -q -out bisect-smoke.json \
+		-baseline baselines/bisect-smoke.json -diff-out bisect-smoke-diff.txt
 
-ci: build vet race bisect-smoke
+# The CI campaign: the 8-scenario smoke matrix, gated the same way.
+campaign-smoke:
+	$(GO) run ./cmd/campaign -matrix smoke -q -out campaign-smoke.json \
+		-baseline baselines/campaign-smoke.json -diff-out campaign-smoke-diff.txt
+
+# Regenerate the committed rolling baselines after an *intentional*
+# scheduler-model change (commit the result; CI diffs against these).
+baseline-refresh:
+	$(GO) run ./cmd/bisect -preset smoke -q -out baselines/bisect-smoke.json
+	$(GO) run ./cmd/campaign -matrix smoke -q -out baselines/campaign-smoke.json
+
+ci: lint build race bisect-smoke campaign-smoke

@@ -6,9 +6,20 @@
 // violations, like the min-load fix under affinity pinning), and the
 // minimal sets recovering best-case makespan.
 //
+// The sweep distributes like any campaign: -shard i/n runs a
+// deterministic slice of the lattice matrix and writes a *campaign*
+// shard artifact (a shard cannot be analyzed — its lattice is
+// incomplete by construction), and -merge reconstructs the full
+// campaign from shard artifacts and analyzes it, validating lattice
+// completeness, into the byte-identical report a single process would
+// have produced. -incremental re-runs only scenarios whose identity
+// changed since a prior bisect artifact, splicing its embedded campaign
+// for the rest.
+//
 // Usage:
 //
 //	bisect [flags]
+//	bisect -merge [flags] shard1.json shard2.json ...
 //
 // Examples:
 //
@@ -16,6 +27,9 @@
 //	bisect -preset default -workers 8
 //	bisect -topos bulldozer8 -loads nas-pin:lu -seeds 1,2,3
 //	bisect -preset smoke -baseline bisect.json
+//	bisect -preset smoke -shard 1/3 -out shard1.json
+//	bisect -preset smoke -merge -out bisect.json shard1.json shard2.json shard3.json
+//	bisect -preset smoke -incremental bisect.json -out bisect.json
 //
 // Flags:
 //
@@ -23,6 +37,9 @@
 //	-topos csv       override topologies (see campaign -list)
 //	-loads csv       override workloads
 //	-seeds csv       override workload seeds
+//	-shard i/n       run only the i-th of n shards; writes a campaign artifact
+//	-merge           merge shard artifacts (positional args) and analyze
+//	-incremental f   prior bisect artifact: execute only new/changed scenarios
 //	-workers n       worker pool size (default GOMAXPROCS)
 //	-seed n          campaign base seed (default 42)
 //	-scale f         workload scale factor (default per preset)
@@ -30,9 +47,14 @@
 //	-perftol pct     perf-verdict makespan tolerance percent (default 10)
 //	-out file        write the JSON artifact here ("-" for stdout)
 //	-baseline file   compare the embedded campaign against a previous
-//	                 bisect artifact's; exit 1 on regression
+//	                 bisect artifact's; exit 3 on regression
 //	-tolerance pct   baseline regression tolerance percent (default 2)
+//	-diff-out file   also write the -baseline comparison report to this file
 //	-q               suppress the verdict summary
+//
+// Exit codes: 0 on success, 1 on runtime/IO errors, 2 on usage errors,
+// 3 when -baseline found a regression — so CI can distinguish "the
+// scheduler model regressed" from "the invocation is broken".
 package main
 
 import (
@@ -44,33 +66,42 @@ import (
 
 	"repro/internal/bisect"
 	"repro/internal/campaign"
+	"repro/internal/shard"
 	"repro/internal/sim"
 )
 
+// exitRegression is the dedicated exit code for a -baseline regression,
+// distinct from runtime errors (1) and usage errors (2).
+const exitRegression = 3
+
 func main() {
 	var (
-		preset    = flag.String("preset", "default", "sweep preset: smoke, default, full")
-		topos     = flag.String("topos", "", "comma-separated topology overrides")
-		loads     = flag.String("loads", "", "comma-separated workload overrides")
-		seeds     = flag.String("seeds", "", "comma-separated workload seed overrides")
-		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		baseSeed  = flag.Int64("seed", 42, "campaign base seed")
-		scale     = flag.Float64("scale", 0, "workload scale factor (0 = preset default)")
-		horizon   = flag.Float64("horizon", 0, "per-scenario horizon in virtual seconds (0 = preset default)")
-		perfTol   = flag.Float64("perftol", 0, "perf-verdict makespan tolerance percent (0 = default 10)")
-		out       = flag.String("out", "", "write JSON artifact to this file (\"-\" for stdout)")
-		baseline  = flag.String("baseline", "", "compare against this bisect artifact")
-		tolerance = flag.Float64("tolerance", 2, "baseline regression tolerance percent")
-		quiet     = flag.Bool("q", false, "suppress the verdict summary")
+		preset      = flag.String("preset", "default", "sweep preset: smoke, default, full")
+		topos       = flag.String("topos", "", "comma-separated topology overrides")
+		loads       = flag.String("loads", "", "comma-separated workload overrides")
+		seeds       = flag.String("seeds", "", "comma-separated workload seed overrides")
+		shardSpec   = flag.String("shard", "", "run only shard i of n (\"i/n\"); writes a campaign artifact")
+		mergeMode   = flag.Bool("merge", false, "merge shard artifacts (positional args) and analyze")
+		incremental = flag.String("incremental", "", "prior bisect artifact: execute only new/changed scenarios")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		baseSeed    = flag.Int64("seed", 42, "campaign base seed")
+		scale       = flag.Float64("scale", 0, "workload scale factor (0 = preset default)")
+		horizon     = flag.Float64("horizon", 0, "per-scenario horizon in virtual seconds (0 = preset default)")
+		perfTol     = flag.Float64("perftol", 0, "perf-verdict makespan tolerance percent (0 = default 10)")
+		out         = flag.String("out", "", "write JSON artifact to this file (\"-\" for stdout)")
+		baseline    = flag.String("baseline", "", "compare against this bisect artifact")
+		tolerance   = flag.Float64("tolerance", 2, "baseline regression tolerance percent")
+		diffOut     = flag.String("diff-out", "", "write the baseline comparison report to this file")
+		quiet       = flag.Bool("q", false, "suppress the verdict summary")
 	)
 	flag.Parse()
 
 	o, ok := bisect.OptionsByName(*preset)
 	if !ok {
-		fatalf("unknown preset %q (want smoke, default or full)", *preset)
+		usagef("unknown preset %q (want smoke, default or full)", *preset)
 	}
 	if err := applyOverrides(&o, *topos, *loads, *seeds); err != nil {
-		fatalf("%v", err)
+		usagef("%v", err)
 	}
 	o.Workers = *workers
 	o.BaseSeed = *baseSeed
@@ -83,12 +114,69 @@ func main() {
 	if *perfTol > 0 {
 		o.PerfTolerancePct = *perfTol
 	}
+	opts := campaign.RunnerOpts{Workers: o.Workers, BaseSeed: o.BaseSeed, Checker: o.Checker}
 
-	fmt.Fprintf(os.Stderr, "bisect: running %d scenarios (%d cells x %d lattice points, base seed %d, scale %g)\n",
-		o.Matrix().Size(), o.Matrix().Size()/bisect.NumSets, bisect.NumSets, o.BaseSeed, o.Scale)
-	r, err := bisect.Run(o)
-	if err != nil {
-		fatalf("%v", err)
+	if *shardSpec != "" {
+		// A shard of the lattice is a campaign artifact, not a report:
+		// analysis needs the whole lattice, which only -merge restores.
+		if *mergeMode || *incremental != "" || *baseline != "" {
+			usagef("-shard does not combine with -merge, -incremental or -baseline; merge the shards first")
+		}
+		runShard(o, opts, *shardSpec, *out, *quiet)
+		return
+	}
+
+	var r *bisect.Report
+	switch {
+	case *mergeMode:
+		if *incremental != "" {
+			usagef("-merge does not combine with -incremental")
+		}
+		if flag.NArg() == 0 {
+			usagef("-merge needs shard artifact files as arguments")
+		}
+		parts := make([]*campaign.Campaign, 0, flag.NArg())
+		for _, path := range flag.Args() {
+			parts = append(parts, loadShardArtifact(path))
+		}
+		merged, err := shard.Merge(parts...)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "bisect: merged %d shard artifacts into %d scenarios; analyzing\n",
+			flag.NArg(), len(merged.Results))
+		r, err = bisect.Analyze(merged, o)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	case *incremental != "":
+		if flag.NArg() > 0 {
+			usagef("unexpected arguments %q (artifact files only follow -merge)", flag.Args())
+		}
+		prior, err := bisect.Load(*incremental)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		scenarios := o.Matrix().Scenarios()
+		diff := shard.Plan(scenarios, prior.Campaign, opts)
+		fmt.Fprintf(os.Stderr, "bisect: incremental vs %s: %s\n", *incremental, diff.Summary())
+		c, err := diff.Execute(opts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if r, err = bisect.Analyze(c, o); err != nil {
+			fatalf("%v", err)
+		}
+	default:
+		if flag.NArg() > 0 {
+			usagef("unexpected arguments %q (artifact files only follow -merge)", flag.Args())
+		}
+		fmt.Fprintf(os.Stderr, "bisect: running %d scenarios (%d cells x %d lattice points, base seed %d, scale %g)\n",
+			o.Matrix().Size(), o.Matrix().Size()/bisect.NumSets, bisect.NumSets, o.BaseSeed, o.Scale)
+		var err error
+		if r, err = bisect.Run(o); err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	if !*quiet {
@@ -132,11 +220,72 @@ func main() {
 				*baseline, base.BaseSeed, r.BaseSeed)
 		}
 		cmp := campaign.Compare(base.Campaign, r.Campaign, *tolerance)
-		fmt.Print(campaign.FormatComparison(cmp))
+		report := campaign.FormatComparison(cmp)
+		fmt.Print(report)
+		if *diffOut != "" {
+			if err := os.WriteFile(*diffOut, []byte(report), 0o644); err != nil {
+				fatalf("%v", err)
+			}
+		}
 		if !cmp.Clean() {
-			os.Exit(1)
+			os.Exit(exitRegression)
 		}
 	}
+}
+
+// runShard executes one shard of the lattice matrix and writes the
+// campaign shard artifact.
+func runShard(o bisect.Options, opts campaign.RunnerOpts, spec, out string, quiet bool) {
+	sp, err := shard.ParseSpec(spec)
+	if err != nil {
+		usagef("%v", err)
+	}
+	scenarios, err := sp.Select(o.Matrix().Scenarios())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "bisect: shard %s holds %d of %d scenarios (campaign artifact only; -merge analyzes)\n",
+		sp, len(scenarios), o.Matrix().Size())
+	c, err := campaign.RunScenarios(scenarios, opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if !quiet {
+		if out == "-" {
+			fmt.Fprint(os.Stderr, c.FormatSummary())
+		} else {
+			fmt.Print(c.FormatSummary())
+		}
+	}
+	if out == "" {
+		return
+	}
+	data, err := c.EncodeJSON()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatalf("%v", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "bisect: wrote shard artifact %s (%d bytes)\n", out, len(data))
+	}
+}
+
+// loadShardArtifact reads a merge input: a campaign shard artifact, or a
+// full bisect artifact whose embedded campaign is used (so a previous
+// report can fill shards that did not re-run). Trying bisect first
+// matters — a bisect report also parses as an empty campaign artifact.
+func loadShardArtifact(path string) *campaign.Campaign {
+	if r, err := bisect.Load(path); err == nil {
+		return r.Campaign
+	}
+	c, err := campaign.Load(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return c
 }
 
 // applyOverrides swaps sweep dimensions for the ones named on the
@@ -190,4 +339,13 @@ func fatalf(format string, args ...any) {
 	msg = strings.TrimPrefix(msg, "bisect: ")
 	fmt.Fprintf(os.Stderr, "bisect: %s\n", msg)
 	os.Exit(1)
+}
+
+// usagef reports a bad invocation (exit 2, like flag parse errors), as
+// opposed to runtime failures (exit 1) and baseline regressions (3).
+func usagef(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	msg = strings.TrimPrefix(msg, "bisect: ")
+	fmt.Fprintf(os.Stderr, "bisect: %s\n", msg)
+	os.Exit(2)
 }

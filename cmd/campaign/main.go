@@ -6,15 +6,26 @@
 // -baseline compares a run against a previous artifact to catch
 // makespan or idle-while-overloaded regressions.
 //
+// Beyond one process, -shard i/n runs a deterministic slice of the
+// matrix (key-ordered round-robin, so a CI matrix of n jobs agrees on
+// the partition with no coordination), -merge reconstructs the
+// single-process artifact from shard artifacts byte for byte, and
+// -incremental re-runs only the scenarios whose identity changed since
+// a prior artifact, splicing cached results for the rest.
+//
 // Usage:
 //
 //	campaign [flags]
+//	campaign -merge [flags] shard1.json shard2.json ...
 //
 // Examples:
 //
 //	campaign -matrix default -scale 0.25 -out campaign.json
 //	campaign -matrix default -scale 0.25 -baseline campaign.json
 //	campaign -topos bulldozer8 -loads tpch,nas:lu -configs bugs,fixed -seeds 1,2
+//	campaign -matrix default -scale 0.25 -shard 2/3 -out shard2.json
+//	campaign -merge -out campaign.json shard1.json shard2.json shard3.json
+//	campaign -matrix default -scale 0.25 -incremental campaign.json -out campaign.json
 //
 // Flags:
 //
@@ -23,16 +34,24 @@
 //	-loads csv       override workloads
 //	-configs csv     override scheduler configs
 //	-seeds csv       override workload seeds
+//	-shard i/n       run only the i-th of n deterministic shards
+//	-merge           merge shard artifacts (positional args) instead of running
+//	-incremental f   prior artifact: execute only new/changed scenarios
 //	-workers n       worker pool size (default GOMAXPROCS)
 //	-seed n          campaign base seed (default 42)
 //	-scale f         workload scale factor (default 1.0)
 //	-horizon s       per-scenario virtual-time bound in seconds (default 200)
 //	-trace           capture violation-window traces
 //	-out file        write the JSON artifact here ("-" for stdout)
-//	-baseline file   compare against a previous artifact; exit 1 on regression
+//	-baseline file   compare against a previous artifact; exit 3 on regression
 //	-tolerance pct   regression tolerance percent (default 2)
+//	-diff-out file   also write the -baseline comparison report to this file
 //	-q               suppress the summary table
 //	-list            print builtin topologies/workloads/configs and exit
+//
+// Exit codes: 0 on success, 1 on runtime/IO errors, 2 on usage errors,
+// 3 when -baseline found a regression — so CI can distinguish "the
+// scheduler model regressed" from "the invocation is broken".
 package main
 
 import (
@@ -44,26 +63,35 @@ import (
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/shard"
 	"repro/internal/sim"
 )
 
+// exitRegression is the dedicated exit code for a -baseline regression,
+// distinct from runtime errors (1) and usage errors (2).
+const exitRegression = 3
+
 func main() {
 	var (
-		matrixName = flag.String("matrix", "default", "preset matrix: default, smoke, full")
-		topos      = flag.String("topos", "", "comma-separated topology overrides")
-		loads      = flag.String("loads", "", "comma-separated workload overrides")
-		configs    = flag.String("configs", "", "comma-separated config overrides")
-		seeds      = flag.String("seeds", "", "comma-separated workload seed overrides")
-		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		baseSeed   = flag.Int64("seed", 42, "campaign base seed")
-		scale      = flag.Float64("scale", 0, "workload scale factor (0 = preset default)")
-		horizon    = flag.Float64("horizon", 200, "per-scenario horizon in virtual seconds")
-		traceOn    = flag.Bool("trace", false, "capture violation-window traces")
-		out        = flag.String("out", "", "write JSON artifact to this file (\"-\" for stdout)")
-		baseline   = flag.String("baseline", "", "compare against this artifact")
-		tolerance  = flag.Float64("tolerance", 2, "regression tolerance percent")
-		quiet      = flag.Bool("q", false, "suppress the summary table")
-		list       = flag.Bool("list", false, "list builtin dimensions and exit")
+		matrixName  = flag.String("matrix", "default", "preset matrix: default, smoke, full")
+		topos       = flag.String("topos", "", "comma-separated topology overrides")
+		loads       = flag.String("loads", "", "comma-separated workload overrides")
+		configs     = flag.String("configs", "", "comma-separated config overrides")
+		seeds       = flag.String("seeds", "", "comma-separated workload seed overrides")
+		shardSpec   = flag.String("shard", "", "run only shard i of n (\"i/n\")")
+		mergeMode   = flag.Bool("merge", false, "merge shard artifacts (positional args) instead of running")
+		incremental = flag.String("incremental", "", "prior artifact: execute only new/changed scenarios")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		baseSeed    = flag.Int64("seed", 42, "campaign base seed")
+		scale       = flag.Float64("scale", 0, "workload scale factor (0 = preset default)")
+		horizon     = flag.Float64("horizon", 200, "per-scenario horizon in virtual seconds")
+		traceOn     = flag.Bool("trace", false, "capture violation-window traces")
+		out         = flag.String("out", "", "write JSON artifact to this file (\"-\" for stdout)")
+		baseline    = flag.String("baseline", "", "compare against this artifact")
+		tolerance   = flag.Float64("tolerance", 2, "regression tolerance percent")
+		diffOut     = flag.String("diff-out", "", "write the baseline comparison report to this file")
+		quiet       = flag.Bool("q", false, "suppress the summary table")
+		list        = flag.Bool("list", false, "list builtin dimensions and exit")
 	)
 	flag.Parse()
 
@@ -73,30 +101,79 @@ func main() {
 		return
 	}
 
-	m, ok := campaign.MatrixByName(*matrixName)
-	if !ok {
-		fatalf("unknown matrix preset %q (want default, smoke or full)", *matrixName)
-	}
-	if err := applyOverrides(&m, *topos, *loads, *configs, *seeds); err != nil {
-		fatalf("%v", err)
-	}
-	if *scale > 0 {
-		m.Scale = *scale
-	}
-	if m.Scale == 0 {
-		m.Scale = 1
-	}
-	m.Horizon = sim.Time(*horizon * float64(sim.Second))
+	var c *campaign.Campaign
+	if *mergeMode {
+		if *shardSpec != "" || *incremental != "" {
+			usagef("-merge does not combine with -shard or -incremental")
+		}
+		if flag.NArg() == 0 {
+			usagef("-merge needs shard artifact files as arguments")
+		}
+		merged, err := shard.MergeFiles(flag.Args()...)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "campaign: merged %d shard artifacts into %d scenarios\n",
+			flag.NArg(), len(merged.Results))
+		c = merged
+	} else {
+		if flag.NArg() > 0 {
+			usagef("unexpected arguments %q (artifact files only follow -merge)", flag.Args())
+		}
+		m, ok := campaign.MatrixByName(*matrixName)
+		if !ok {
+			usagef("unknown matrix preset %q (want default, smoke or full)", *matrixName)
+		}
+		if err := applyOverrides(&m, *topos, *loads, *configs, *seeds); err != nil {
+			usagef("%v", err)
+		}
+		if *scale > 0 {
+			m.Scale = *scale
+		}
+		if m.Scale == 0 {
+			m.Scale = 1
+		}
+		m.Horizon = sim.Time(*horizon * float64(sim.Second))
 
-	fmt.Fprintf(os.Stderr, "campaign: running %d scenarios on %d workers (base seed %d, scale %g)\n",
-		m.Size(), effectiveWorkers(*workers), *baseSeed, m.Scale)
-	c, err := campaign.Run(m, campaign.RunnerOpts{
-		Workers:  *workers,
-		BaseSeed: *baseSeed,
-		Trace:    *traceOn,
-	})
-	if err != nil {
-		fatalf("%v", err)
+		scenarios := m.Scenarios()
+		if *shardSpec != "" {
+			sp, err := shard.ParseSpec(*shardSpec)
+			if err != nil {
+				usagef("%v", err)
+			}
+			scenarios, err = sp.Select(scenarios)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "campaign: shard %s holds %d of %d scenarios\n",
+				sp, len(scenarios), m.Size())
+		}
+		opts := campaign.RunnerOpts{
+			Workers:  *workers,
+			BaseSeed: *baseSeed,
+			Trace:    *traceOn,
+		}
+		if *incremental != "" {
+			prior, err := campaign.Load(*incremental)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			diff := shard.Plan(scenarios, prior, opts)
+			fmt.Fprintf(os.Stderr, "campaign: incremental vs %s: %s\n", *incremental, diff.Summary())
+			spliced, err := diff.Execute(opts)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			c = spliced
+		} else {
+			fmt.Fprintf(os.Stderr, "campaign: running %d scenarios on %d workers (base seed %d, scale %g)\n",
+				len(scenarios), effectiveWorkers(*workers), *baseSeed, m.Scale)
+			run, err := campaign.RunScenarios(scenarios, opts)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			c = run
+		}
 	}
 
 	if !*quiet {
@@ -126,9 +203,15 @@ func main() {
 			fatalf("%v", err)
 		}
 		cmp := campaign.Compare(base, c, *tolerance)
-		fmt.Print(campaign.FormatComparison(cmp))
+		report := campaign.FormatComparison(cmp)
+		fmt.Print(report)
+		if *diffOut != "" {
+			if err := os.WriteFile(*diffOut, []byte(report), 0o644); err != nil {
+				fatalf("%v", err)
+			}
+		}
 		if !cmp.Clean() {
-			os.Exit(1)
+			os.Exit(exitRegression)
 		}
 	}
 }
@@ -202,4 +285,13 @@ func fatalf(format string, args ...any) {
 	msg = strings.TrimPrefix(msg, "campaign: ")
 	fmt.Fprintf(os.Stderr, "campaign: %s\n", msg)
 	os.Exit(1)
+}
+
+// usagef reports a bad invocation (exit 2, like flag parse errors), as
+// opposed to runtime failures (exit 1) and baseline regressions (3).
+func usagef(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	msg = strings.TrimPrefix(msg, "campaign: ")
+	fmt.Fprintf(os.Stderr, "campaign: %s\n", msg)
+	os.Exit(2)
 }

@@ -172,4 +172,3 @@ func OptionsByName(name string) (Options, bool) {
 	}
 	return Options{}, false
 }
-

@@ -118,10 +118,20 @@ type Campaign struct {
 	// artifact cannot mislabel it.
 	CheckerSNs int64 `json:"checker_s_ns"`
 	CheckerMNs int64 `json:"checker_m_ns"`
+	// Trace records whether the trace recorder was attached (it changes
+	// the per-result TraceEvents counts). Omitted when false so that
+	// pre-existing artifacts keep their bytes; incremental re-runs use it
+	// as part of the cache fingerprint.
+	Trace bool `json:"trace,omitempty"`
 	// Results are sorted by Key — insertion order (and therefore worker
 	// scheduling) cannot leak into the artifact.
 	Results []Result `json:"results"`
 }
+
+// Normalize re-establishes the artifact's key-sorted-results invariant
+// after external surgery (the shard package's merge), erroring on
+// duplicate keys.
+func (c *Campaign) Normalize() error { return c.sortResults() }
 
 // sortResults orders results by Key and asserts uniqueness.
 func (c *Campaign) sortResults() error {

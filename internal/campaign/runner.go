@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
 	"math"
 	"runtime"
@@ -38,12 +39,13 @@ type RunnerOpts struct {
 	OnResult func(Result)
 }
 
-// effectiveChecker resolves the campaign's checker defaults: a 100ms
+// EffectiveChecker resolves the campaign's checker defaults: a 100ms
 // check interval with a 50ms monitoring window, denser than the paper's
 // 1s/100ms so that scaled-down scenario runs still get invariant
 // coverage. Both runScenario and the artifact stamp use this one
-// resolution.
-func (o RunnerOpts) effectiveChecker() checker.Config {
+// resolution; the shard package uses it to fingerprint prior artifacts
+// for incremental re-runs.
+func (o RunnerOpts) EffectiveChecker() checker.Config {
 	cfg := o.Checker
 	if cfg.S == 0 {
 		cfg.S = 100 * sim.Millisecond
@@ -87,8 +89,19 @@ func RunScenarios(scenarios []Scenario, opts RunnerOpts) (*Campaign, error) {
 		}
 		return r
 	})
-	ck := opts.effectiveChecker()
-	c := &Campaign{Version: Version, BaseSeed: opts.BaseSeed,
+	return AssembleArtifact(scenarios, results, opts)
+}
+
+// AssembleArtifact builds the campaign artifact for a scenario list from
+// already-collected results: metadata is stamped from the full scenario
+// list and the runner options, results are key-sorted, and every
+// scenario must have exactly one result. It is the single place artifact
+// metadata comes from, shared by RunScenarios and the shard package's
+// incremental splicing — which is what makes a spliced artifact
+// byte-identical to a full re-run.
+func AssembleArtifact(scenarios []Scenario, results []Result, opts RunnerOpts) (*Campaign, error) {
+	ck := opts.EffectiveChecker()
+	c := &Campaign{Version: Version, BaseSeed: opts.BaseSeed, Trace: opts.Trace,
 		CheckerSNs: int64(ck.S), CheckerMNs: int64(ck.M), Results: results}
 	// Stamp the campaign-wide scale and horizon only when they are
 	// uniform across scenarios; a mixed list leaves them zero rather
@@ -105,6 +118,18 @@ func RunScenarios(scenarios []Scenario, opts RunnerOpts) (*Campaign, error) {
 		if uniform {
 			c.ScaleMilli = int64(math.Round(scale * 1000))
 			c.HorizonNs = int64(horizon)
+		}
+	}
+	want := make(map[string]bool, len(scenarios))
+	for _, sc := range scenarios {
+		want[sc.Key()] = true
+	}
+	if len(results) != len(scenarios) {
+		return nil, fmt.Errorf("campaign: %d results for %d scenarios", len(results), len(scenarios))
+	}
+	for i := range results {
+		if !want[results[i].Key] {
+			return nil, fmt.Errorf("campaign: result %q matches no scenario", results[i].Key)
 		}
 	}
 	if err := c.sortResults(); err != nil {
@@ -180,7 +205,7 @@ func runScenario(sc Scenario, opts RunnerOpts) Result {
 		rec = trace.NewRecorder(1 << 16)
 		m.SetRecorder(rec)
 	}
-	ck := checker.New(m.Sched, rec, opts.effectiveChecker())
+	ck := checker.New(m.Sched, rec, opts.EffectiveChecker())
 	ck.Start()
 	defer ck.Stop()
 

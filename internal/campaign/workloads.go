@@ -112,7 +112,7 @@ func makeTwoR() Workload {
 		if mk.JobsPerThread < 2 {
 			mk.JobsPerThread = 2
 		}
-		mk.SpawnCore = topo.CoresOfNode(topology.NodeID(topo.NumNodes()-1))[0]
+		mk.SpawnCore = topo.CoresOfNode(topology.NodeID(topo.NumNodes() - 1))[0]
 		p := workload.LaunchMake(rc.M, mk)
 		end, ok := rc.M.RunUntilDone(rc.Horizon, p)
 		return Outcome{Makespan: end, Completed: ok}

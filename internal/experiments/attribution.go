@@ -139,4 +139,3 @@ func FormatAttribution(rows []AttributionRow) string {
 	}
 	return b.String()
 }
-

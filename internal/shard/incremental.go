@@ -1,0 +1,156 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/campaign"
+)
+
+// Diff is the plan of an incremental re-run: which scenarios of the
+// requested list must execute and which prior results can be spliced.
+//
+// A prior result is reusable only when the scenario's whole execution
+// fingerprint matches — the same derived engine seed (which covers the
+// base seed and the scenario coordinates), the same scale and horizon,
+// and the same campaign-level lens (checker tuning, trace setting).
+// Anything the artifact cannot attest to (notably the scheduler-model
+// code itself) is out of scope: incremental re-runs assume the same
+// binary, which is why CI gates on the merged artifact against a stored
+// baseline rather than trusting the cache.
+type Diff struct {
+	// ToRun are the scenarios that must execute: new keys plus changed
+	// ones, in input order.
+	ToRun []campaign.Scenario
+	// Cached are the prior results spliced for unchanged scenarios.
+	Cached []campaign.Result
+	// New, Changed and Removed classify the keys (sorted): absent from
+	// the prior artifact; present but with a stale fingerprint (or the
+	// whole artifact Invalidated); present in the prior artifact but no
+	// longer in the scenario list (their results are dropped).
+	New, Changed, Removed []string
+	// Invalidated is non-empty when a campaign-level fingerprint
+	// mismatch (base seed, checker lens, trace, artifact version) made
+	// the whole prior artifact unusable; every prior key is then
+	// Changed or Removed, and nothing is Cached.
+	Invalidated string
+
+	// scenarios is the full requested list, kept so Execute assembles
+	// the artifact with the same metadata stamp a full run would use.
+	scenarios []campaign.Scenario
+}
+
+// Plan diffs the scenario list against a prior artifact under the given
+// runner options. It never executes anything; Execute does.
+func Plan(scenarios []campaign.Scenario, prior *campaign.Campaign, opts campaign.RunnerOpts) *Diff {
+	d := &Diff{scenarios: scenarios}
+	d.Invalidated = staleCampaign(prior, opts)
+
+	priorByKey := map[string]*campaign.Result{}
+	if prior != nil {
+		for i := range prior.Results {
+			priorByKey[prior.Results[i].Key] = &prior.Results[i]
+		}
+	}
+	current := make(map[string]bool, len(scenarios))
+	for _, sc := range scenarios {
+		key := sc.Key()
+		current[key] = true
+		res, ok := priorByKey[key]
+		switch {
+		case !ok:
+			d.New = append(d.New, key)
+			d.ToRun = append(d.ToRun, sc)
+		case d.Invalidated != "" || staleResult(res, sc, prior, opts):
+			d.Changed = append(d.Changed, key)
+			d.ToRun = append(d.ToRun, sc)
+		default:
+			d.Cached = append(d.Cached, *res)
+		}
+	}
+	for key := range priorByKey {
+		if !current[key] {
+			d.Removed = append(d.Removed, key)
+		}
+	}
+	sort.Strings(d.New)
+	sort.Strings(d.Changed)
+	sort.Strings(d.Removed)
+	return d
+}
+
+// staleCampaign reports why the prior artifact is unusable as a cache
+// under opts, or "" when it is usable.
+func staleCampaign(prior *campaign.Campaign, opts campaign.RunnerOpts) string {
+	ck := opts.EffectiveChecker()
+	switch {
+	case prior == nil:
+		return "no prior artifact"
+	case prior.Version != campaign.Version:
+		return fmt.Sprintf("artifact version %d, want %d", prior.Version, campaign.Version)
+	case prior.BaseSeed != opts.BaseSeed:
+		return fmt.Sprintf("base seed %d, this run %d", prior.BaseSeed, opts.BaseSeed)
+	case prior.CheckerSNs != int64(ck.S) || prior.CheckerMNs != int64(ck.M):
+		return fmt.Sprintf("checker lens S=%dns M=%dns, this run S=%dns M=%dns",
+			prior.CheckerSNs, prior.CheckerMNs, int64(ck.S), int64(ck.M))
+	case prior.Trace != opts.Trace:
+		return fmt.Sprintf("trace=%v, this run %v", prior.Trace, opts.Trace)
+	}
+	return ""
+}
+
+// staleResult reports whether a prior result's per-scenario fingerprint
+// no longer matches the scenario as it would run now.
+func staleResult(res *campaign.Result, sc campaign.Scenario, prior *campaign.Campaign, opts campaign.RunnerOpts) bool {
+	if res.EngineSeed != campaign.DeriveSeed(opts.BaseSeed, sc.Key(), sc.Seed) {
+		return true
+	}
+	// Scale and horizon only exist campaign-wide in the artifact, and
+	// only when they were uniform; a zero stamp means they are
+	// unattested, so the cache cannot vouch for this result.
+	if prior.ScaleMilli == 0 || prior.HorizonNs == 0 {
+		return true
+	}
+	return prior.ScaleMilli != int64(math.Round(sc.Scale*1000)) || prior.HorizonNs != int64(sc.Horizon)
+}
+
+// Execute runs the plan's ToRun subset and splices the cached results.
+// The artifact is byte-identical to a full RunScenarios over the
+// planned scenario list (both assemble through
+// campaign.AssembleArtifact, and cached results were produced under
+// the same fingerprint); prior keys no longer in the list are dropped.
+// opts must be the ones the plan was computed under.
+func (d *Diff) Execute(opts campaign.RunnerOpts) (*campaign.Campaign, error) {
+	fresh, err := campaign.RunScenarios(d.ToRun, opts)
+	if err != nil {
+		return nil, err
+	}
+	combined := make([]campaign.Result, 0, len(d.Cached)+len(fresh.Results))
+	combined = append(combined, d.Cached...)
+	combined = append(combined, fresh.Results...)
+	return campaign.AssembleArtifact(d.scenarios, combined, opts)
+}
+
+// RunIncremental plans and executes in one call: only the changed
+// subset of the scenario list runs, with the prior artifact's results
+// spliced for the rest. The Diff reports what was executed, spliced
+// and removed.
+func RunIncremental(scenarios []campaign.Scenario, prior *campaign.Campaign, opts campaign.RunnerOpts) (*campaign.Campaign, *Diff, error) {
+	d := Plan(scenarios, prior, opts)
+	c, err := d.Execute(opts)
+	if err != nil {
+		return nil, d, err
+	}
+	return c, d, nil
+}
+
+// Summary renders the diff in one line for progress reporting.
+func (d *Diff) Summary() string {
+	s := fmt.Sprintf("%d to run (%d new, %d changed), %d cached, %d removed",
+		len(d.ToRun), len(d.New), len(d.Changed), len(d.Cached), len(d.Removed))
+	if d.Invalidated != "" {
+		s += fmt.Sprintf("; prior artifact invalidated: %s", d.Invalidated)
+	}
+	return s
+}

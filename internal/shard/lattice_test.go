@@ -1,0 +1,70 @@
+package shard
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bisect"
+	"repro/internal/campaign"
+)
+
+// TestShardedLatticeAnalysis: a bisect sweep sharded 3 ways, merged and
+// re-analyzed produces the byte-identical report of a single-process
+// bisect.Run — the "sharded lattices re-analyze for free" property —
+// while a merge of only k < n shards is rejected by Analyze's
+// lattice-completeness validation instead of yielding partial verdicts.
+func TestShardedLatticeAnalysis(t *testing.T) {
+	o, _ := bisect.OptionsByName("smoke")
+	o.BaseSeed = 42
+	o.Workloads = campaign.MustWorkloads("make2r")
+	opts := campaign.RunnerOpts{Workers: 4, BaseSeed: o.BaseSeed, Checker: o.Checker}
+
+	full, err := bisect.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scs := o.Matrix().Scenarios()
+	const n = 3
+	parts := make([]*campaign.Campaign, n)
+	for i := 1; i <= n; i++ {
+		part, err := Spec{i, n}.Select(scs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parts[i-1], err = campaign.RunScenarios(part, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := Merge(parts[2], parts[0], parts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := bisect.Analyze(merged, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("sharded+merged bisect report differs from single-process run")
+	}
+
+	// k-of-n: an incomplete merge must fail lattice validation.
+	partial, err := Merge(parts[0], parts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bisect.Analyze(partial, o); err == nil {
+		t.Fatal("Analyze accepted a 2-of-3 shard merge with an incomplete lattice")
+	} else if !strings.Contains(err.Error(), "missing lattice config") {
+		t.Fatalf("unexpected incomplete-lattice error: %v", err)
+	}
+}
