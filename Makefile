@@ -10,7 +10,8 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench campaign bisect bisect-smoke campaign-smoke baseline-refresh ci
+.PHONY: all build vet lint test race bench campaign bisect bisect-smoke campaign-smoke \
+	bisect-nightly campaign-nightly baseline-refresh ci nightly
 
 all: ci
 
@@ -59,10 +60,34 @@ campaign-smoke:
 	$(GO) run ./cmd/campaign -matrix smoke -q -out campaign-smoke.json \
 		-baseline baselines/campaign-smoke.json -diff-out campaign-smoke-diff.txt
 
+# The nightly gates: the default-scale sweeps (too slow for every push)
+# against their committed baselines. Run by .github/workflows/nightly.yml
+# on a schedule and on demand.
+bisect-nightly:
+	$(GO) run ./cmd/bisect -preset default -q -out bisect-default.json \
+		-baseline baselines/bisect-default.json -diff-out bisect-default-diff.txt
+
+campaign-nightly:
+	$(GO) run ./cmd/campaign -matrix default -scale 0.25 -q -out campaign-default.json \
+		-baseline baselines/campaign-default.json -diff-out campaign-default-diff.txt
+
+# Run both gates even when the first regresses (a same-night campaign
+# regression must not be masked by a bisect one, and CI uploads both
+# artifacts either way); fail if either did.
+nightly:
+	@rc=0; \
+	$(MAKE) bisect-nightly || rc=1; \
+	$(MAKE) campaign-nightly || rc=1; \
+	exit $$rc
+
 # Regenerate the committed rolling baselines after an *intentional*
 # scheduler-model change (commit the result; CI diffs against these).
+# Covers both the per-push smoke baselines and the nightly default-scale
+# ones, so additive artifact fields land in all four at once.
 baseline-refresh:
 	$(GO) run ./cmd/bisect -preset smoke -q -out baselines/bisect-smoke.json
 	$(GO) run ./cmd/campaign -matrix smoke -q -out baselines/campaign-smoke.json
+	$(GO) run ./cmd/bisect -preset default -q -out baselines/bisect-default.json
+	$(GO) run ./cmd/campaign -matrix default -scale 0.25 -q -out baselines/campaign-default.json
 
 ci: lint build race bisect-smoke campaign-smoke

@@ -45,6 +45,10 @@
 //	-scale f         workload scale factor (default per preset)
 //	-horizon s       per-scenario virtual-time bound in seconds
 //	-perftol pct     perf-verdict makespan tolerance percent (default 10)
+//	-lattol pct      latency-verdict p99 wakeup-delay tolerance percent
+//	                 (default 10, plus a 100µs absolute slack)
+//	-streak-k n      wakeup-streak threshold for the episode-level
+//	                 overload-on-wakeup witness (default 4)
 //	-out file        write the JSON artifact here ("-" for stdout)
 //	-baseline file   compare the embedded campaign against a previous
 //	                 bisect artifact's; exit 3 on regression
@@ -88,6 +92,8 @@ func main() {
 		scale       = flag.Float64("scale", 0, "workload scale factor (0 = preset default)")
 		horizon     = flag.Float64("horizon", 0, "per-scenario horizon in virtual seconds (0 = preset default)")
 		perfTol     = flag.Float64("perftol", 0, "perf-verdict makespan tolerance percent (0 = default 10)")
+		latTol      = flag.Float64("lattol", 0, "latency-verdict p99 tolerance percent (0 = default 10)")
+		streakK     = flag.Int("streak-k", 0, "wakeup-streak threshold (0 = default 4)")
 		out         = flag.String("out", "", "write JSON artifact to this file (\"-\" for stdout)")
 		baseline    = flag.String("baseline", "", "compare against this bisect artifact")
 		tolerance   = flag.Float64("tolerance", 2, "baseline regression tolerance percent")
@@ -96,6 +102,9 @@ func main() {
 	)
 	flag.Parse()
 
+	if *streakK < 0 {
+		usagef("-streak-k must be >= 0 (0 = default)")
+	}
 	o, ok := bisect.OptionsByName(*preset)
 	if !ok {
 		usagef("unknown preset %q (want smoke, default or full)", *preset)
@@ -114,7 +123,11 @@ func main() {
 	if *perfTol > 0 {
 		o.PerfTolerancePct = *perfTol
 	}
-	opts := campaign.RunnerOpts{Workers: o.Workers, BaseSeed: o.BaseSeed, Checker: o.Checker}
+	if *latTol > 0 {
+		o.LatencyTolerancePct = *latTol
+	}
+	o.StreakK = *streakK
+	opts := campaign.RunnerOpts{Workers: o.Workers, BaseSeed: o.BaseSeed, Checker: o.Checker, StreakK: o.StreakK}
 
 	if *shardSpec != "" {
 		// A shard of the lattice is a campaign artifact, not a report:
@@ -218,6 +231,9 @@ func main() {
 		case base.BaseSeed != r.BaseSeed:
 			fatalf("baseline %s used base seed %d, this run %d; not comparable",
 				*baseline, base.BaseSeed, r.BaseSeed)
+		case base.StreakK != 0 && base.StreakK != r.StreakK:
+			fatalf("baseline %s used streak threshold K=%d, this run K=%d; not comparable",
+				*baseline, base.StreakK, r.StreakK)
 		}
 		cmp := campaign.Compare(base.Campaign, r.Campaign, *tolerance)
 		report := campaign.FormatComparison(cmp)

@@ -41,6 +41,9 @@
 //	-seed n          campaign base seed (default 42)
 //	-scale f         workload scale factor (default 1.0)
 //	-horizon s       per-scenario virtual-time bound in seconds (default 200)
+//	-streak-k n      wakeup-streak threshold: n consecutive wakeups on busy
+//	                 cores while an allowed core idles form a witnessed
+//	                 streak (default 4; stamped into the artifact)
 //	-trace           capture violation-window traces
 //	-out file        write the JSON artifact here ("-" for stdout)
 //	-baseline file   compare against a previous artifact; exit 3 on regression
@@ -85,6 +88,7 @@ func main() {
 		baseSeed    = flag.Int64("seed", 42, "campaign base seed")
 		scale       = flag.Float64("scale", 0, "workload scale factor (0 = preset default)")
 		horizon     = flag.Float64("horizon", 200, "per-scenario horizon in virtual seconds")
+		streakK     = flag.Int("streak-k", 0, "wakeup-streak threshold (0 = default 4)")
 		traceOn     = flag.Bool("trace", false, "capture violation-window traces")
 		out         = flag.String("out", "", "write JSON artifact to this file (\"-\" for stdout)")
 		baseline    = flag.String("baseline", "", "compare against this artifact")
@@ -95,6 +99,9 @@ func main() {
 	)
 	flag.Parse()
 
+	if *streakK < 0 {
+		usagef("-streak-k must be >= 0 (0 = default)")
+	}
 	if *list {
 		fmt.Printf("topologies: %s\nworkloads:  %s (plus any nas:<app>)\nconfigs:    %s\nmatrices:   default, smoke, full\n",
 			campaign.TopologyNames(), campaign.WorkloadNames(), campaign.ConfigNames())
@@ -152,6 +159,7 @@ func main() {
 			Workers:  *workers,
 			BaseSeed: *baseSeed,
 			Trace:    *traceOn,
+			StreakK:  *streakK,
 		}
 		if *incremental != "" {
 			prior, err := campaign.Load(*incremental)

@@ -98,12 +98,22 @@ func TestSeedSweepStability(t *testing.T) {
 		t.Fatal(err)
 	}
 	stabilities := r.SeedStability()
-	if len(stabilities) != 2 {
-		t.Fatalf("stability groups = %d, want 2", len(stabilities))
+	if len(stabilities) != 3 {
+		t.Fatalf("stability groups = %d, want 3", len(stabilities))
 	}
 	for _, st := range stabilities {
 		if len(st.Seeds) != len(o.Seeds) {
 			t.Errorf("%s/%s covered seeds %v, want %v", st.Topology, st.Workload, st.Seeds, o.Seeds)
+		}
+		if st.Workload == "tpch" {
+			// The §3.3 cell is the reason the streak/latency axes exist:
+			// its episodes are too short for checker confirmation, and its
+			// makespan verdict is seed-UNSTABLE (several fix sets tie
+			// within the perf tolerance, differently per seed). The
+			// episode-level witnesses must be what the makespan is not —
+			// stable at {oow} for every seed — and that is asserted below,
+			// outside the full-signature check.
+			continue
 		}
 		if st.Stable {
 			continue
@@ -111,6 +121,23 @@ func TestSeedSweepStability(t *testing.T) {
 		t.Errorf("%s/%s verdict is seed-unstable across %d signatures:", st.Topology, st.Workload, len(st.Signatures))
 		for sig, seeds := range st.Signatures {
 			t.Errorf("  seeds %v: %s", seeds, sig)
+		}
+	}
+
+	// TPC-H: streak and latency verdicts are {oow} at every seed.
+	for _, seed := range o.Seeds {
+		cell := r.Cell("bulldozer8", "tpch", seed)
+		if cell == nil {
+			t.Fatalf("tpch cell for seed %d missing", seed)
+		}
+		if cell.BaselineStreaks == 0 {
+			t.Errorf("tpch seed %d: no baseline wakeup streaks (witness lost)", seed)
+		}
+		if !reflect.DeepEqual(cell.StreakMinimalFixSets, []string{"oow"}) {
+			t.Errorf("tpch seed %d: streak minimal sets = %v, want [oow]", seed, cell.StreakMinimalFixSets)
+		}
+		if !reflect.DeepEqual(cell.LatencyMinimalFixSets, []string{"oow"}) {
+			t.Errorf("tpch seed %d: latency minimal sets = %v, want [oow]", seed, cell.LatencyMinimalFixSets)
 		}
 	}
 }

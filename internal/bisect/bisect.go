@@ -51,6 +51,10 @@ type Options struct {
 	Workers int
 	// BaseSeed perturbs every scenario's derived engine seed.
 	BaseSeed int64
+	// StreakK overrides the wakeup-streak threshold (0 =
+	// latency.DefaultStreakK). Only Run consults it; Analyze reads the
+	// stamped threshold from the artifact.
+	StreakK int
 
 	// Checker is the sanity-checker lens the sweep runs under. The zero
 	// value uses a 20ms check interval with a 10ms monitoring window —
@@ -65,6 +69,17 @@ type Options struct {
 	// verdict: a fix set qualifies when its makespan is within this
 	// percentage of the best lattice point (0 = 10%).
 	PerfTolerancePct float64
+
+	// LatencyTolerancePct is the relative slack of the latency verdict:
+	// a fix set qualifies when its p99 wakeup-to-run delay is within
+	// this percentage of the best lattice point (0 = 10%).
+	LatencyTolerancePct float64
+	// LatencySlack is the absolute slack added on top — without it a
+	// best p99 of zero (every wakeup ran immediately, the usual result
+	// under the OoW fix) would demand bit-exact zeroes from every
+	// qualifying set. Tails under this floor are treated as equally
+	// good (0 = 100µs).
+	LatencySlack sim.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +100,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PerfTolerancePct == 0 {
 		o.PerfTolerancePct = 10
+	}
+	if o.LatencyTolerancePct == 0 {
+		o.LatencyTolerancePct = 10
+	}
+	if o.LatencySlack == 0 {
+		o.LatencySlack = 100 * sim.Microsecond
 	}
 	return o
 }
@@ -112,6 +133,7 @@ func Run(opts Options) (*Report, error) {
 		Workers:  opts.Workers,
 		BaseSeed: opts.BaseSeed,
 		Checker:  opts.Checker,
+		StreakK:  opts.StreakK,
 	})
 	if err != nil {
 		return nil, err
@@ -122,13 +144,15 @@ func Run(opts Options) (*Report, error) {
 // --- presets -------------------------------------------------------------
 
 // SmokeOptions is the small CI sweep: the paper's Bulldozer machine, the
-// Table 1 pinned run and the §3.1 make+R mix — 32 scenarios that exhibit
-// the Group Construction and Group Imbalance episode classes plus the
-// min-load interaction anomaly.
+// Table 1 pinned run, the §3.1 make+R mix, and the §3.3 database — 48
+// scenarios that exhibit the Group Construction and Group Imbalance
+// episode classes, the min-load interaction anomaly, and (via TPC-H's
+// wakeup-placement streaks) the episode-level overload-on-wakeup
+// witness whose episodes are too short for checker confirmation.
 func SmokeOptions() Options {
 	o := Options{
 		Topologies: campaign.MustTopologies("bulldozer8"),
-		Workloads:  campaign.MustWorkloads("nas-pin:lu", "make2r"),
+		Workloads:  campaign.MustWorkloads("nas-pin:lu", "make2r", "tpch"),
 		Seeds:      []int64{1},
 		Scale:      0.5,
 		Horizon:    100 * sim.Second,

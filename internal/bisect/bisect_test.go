@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/campaign"
@@ -145,6 +146,68 @@ func TestSmokeVerdicts(t *testing.T) {
 	}
 	if !containsSet(mk.MinimalFixSets, "gi") {
 		t.Errorf("make2r minimal fix sets = %v, want gi included", mk.MinimalFixSets)
+	}
+}
+
+// TestTPCHEpisodeWitness pins the ROADMAP item this axis exists for:
+// TPC-H's overload-on-wakeup episodes are too short for checker
+// confirmation at any lens that still filters legal transients, so the
+// cell's baseline is episode-clean — yet the wakeup-placement streak
+// and the p99 wakeup-delay witnesses both attribute it to {oow},
+// giving Table 2 an episode-level verdict instead of a makespan-only
+// one.
+func TestTPCHEpisodeWitness(t *testing.T) {
+	o := smokeWithSeed()
+	o.Workloads = campaign.MustWorkloads("tpch")
+	r, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := r.Cell("bulldozer8", "tpch", 1)
+	if cell == nil {
+		t.Fatalf("tpch cell missing:\n%s", r.FormatSummary())
+	}
+	if cell.BaselineViolations != 0 {
+		t.Errorf("tpch baseline has %d confirmed episodes; the witness test assumes it is checker-clean",
+			cell.BaselineViolations)
+	}
+	if cell.BaselineStreaks == 0 || cell.BaselineLongestStreak < r.StreakK {
+		t.Fatalf("no streak witness: streaks=%d longest=%d (K=%d)",
+			cell.BaselineStreaks, cell.BaselineLongestStreak, r.StreakK)
+	}
+	if !reflect.DeepEqual(cell.StreakMinimalFixSets, []string{"oow"}) {
+		t.Errorf("streak minimal sets = %v, want [oow]", cell.StreakMinimalFixSets)
+	}
+	if !reflect.DeepEqual(cell.LatencyMinimalFixSets, []string{"oow"}) {
+		t.Errorf("latency minimal sets = %v, want [oow]", cell.LatencyMinimalFixSets)
+	}
+	if cell.LatencyBestSet == "" {
+		t.Error("latency verdict missing")
+	}
+	// The human-readable report surfaces both witnesses.
+	sum := r.FormatSummary()
+	for _, want := range []string{"wake streaks", "latency: best"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary misses %q:\n%s", want, sum)
+		}
+	}
+	// Pre-latency artifacts (no digests, no streak stamps) must not
+	// grow phantom verdicts: strip the new fields and re-analyze.
+	stripped := *r.Campaign
+	stripped.StreakK = 0
+	stripped.Results = append([]campaign.Result(nil), r.Campaign.Results...)
+	for i := range stripped.Results {
+		stripped.Results[i].WakeLatency = nil
+		stripped.Results[i].RunqWait = nil
+		stripped.Results[i].WakeStreaks = nil
+	}
+	r2, err := Analyze(&stripped, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell2 := r2.Cell("bulldozer8", "tpch", 1)
+	if cell2.BaselineStreaks != 0 || cell2.StreakMinimalFixSets != nil || cell2.LatencyBestSet != "" {
+		t.Errorf("pre-latency artifact grew latency verdicts: %+v", cell2)
 	}
 }
 

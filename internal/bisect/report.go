@@ -84,6 +84,29 @@ type Cell struct {
 	PerfBestSet        string   `json:"perf_best_set,omitempty"`
 	PerfBestMakespanNs int64    `json:"perf_best_makespan_ns,omitempty"`
 	PerfMinimalFixSets []string `json:"perf_minimal_fix_sets,omitempty"`
+
+	// Wakeup-streak verdict — the episode-level overload-on-wakeup
+	// witness. When the studied kernel shows wakeup-placement streaks
+	// (K consecutive wakeups on busy cores with an allowed core idle;
+	// see internal/latency), the minimal fix sets that zero them name
+	// the pathology directly, even for cells like TPC-H whose episodes
+	// are too short for checker confirmation and that previously got
+	// only a makespan-basis attribution.
+	BaselineStreaks       int      `json:"baseline_streaks,omitempty"`
+	BaselineLongestStreak int      `json:"baseline_longest_streak,omitempty"`
+	StreakMinimalFixSets  []string `json:"streak_minimal_fix_sets,omitempty"`
+	// StreakUnresolved: the baseline has streaks but no fix set zeroes
+	// them.
+	StreakUnresolved bool `json:"streak_unresolved,omitempty"`
+
+	// Latency verdict: the lattice point with the best p99
+	// wakeup-to-run delay and the minimal sets within the latency
+	// tolerance of it — the tail-latency analogue of the makespan
+	// verdict. LatencyBestSet is empty when no lattice point completed
+	// or the artifact carries no digests (pre-latency artifact).
+	LatencyBestSet        string   `json:"latency_best_set,omitempty"`
+	LatencyBestP99Ns      int64    `json:"latency_best_p99_ns,omitempty"`
+	LatencyMinimalFixSets []string `json:"latency_minimal_fix_sets,omitempty"`
 }
 
 // Key renders the cell coordinate, mirroring campaign scenario keys
@@ -103,6 +126,13 @@ type Report struct {
 	CheckerSNs       int64   `json:"checker_s_ns"`
 	CheckerMNs       int64   `json:"checker_m_ns"`
 	PerfTolerancePct float64 `json:"perf_tolerance_pct"`
+	// LatencyTolerancePct / LatencySlackNs tune the latency verdict;
+	// StreakK echoes the wakeup-streak threshold the campaign ran under
+	// (0 for pre-latency artifacts, whose streak/latency verdicts are
+	// absent).
+	LatencyTolerancePct float64 `json:"latency_tolerance_pct,omitempty"`
+	LatencySlackNs      int64   `json:"latency_slack_ns,omitempty"`
+	StreakK             int     `json:"streak_k,omitempty"`
 	// Cells are sorted by (Topology, Workload, Seed).
 	Cells []Cell `json:"cells"`
 	// Campaign embeds the full per-scenario artifact the verdicts were
@@ -173,14 +203,17 @@ func Analyze(c *campaign.Campaign, opts Options) (*Report, error) {
 	})
 
 	r := &Report{
-		Version:          Version,
-		BaseSeed:         c.BaseSeed,
-		ScaleMilli:       c.ScaleMilli,
-		HorizonNs:        c.HorizonNs,
-		CheckerSNs:       c.CheckerSNs,
-		CheckerMNs:       c.CheckerMNs,
-		PerfTolerancePct: opts.PerfTolerancePct,
-		Campaign:         c,
+		Version:             Version,
+		BaseSeed:            c.BaseSeed,
+		ScaleMilli:          c.ScaleMilli,
+		HorizonNs:           c.HorizonNs,
+		CheckerSNs:          c.CheckerSNs,
+		CheckerMNs:          c.CheckerMNs,
+		PerfTolerancePct:    opts.PerfTolerancePct,
+		LatencyTolerancePct: opts.LatencyTolerancePct,
+		LatencySlackNs:      int64(opts.LatencySlack),
+		StreakK:             c.StreakK,
+		Campaign:            c,
 	}
 	for _, k := range order {
 		lat := cells[k]
@@ -307,6 +340,62 @@ func analyzeCell(topo, load string, seed int64, lat *[NumSets]*campaign.Result, 
 			cell.PerfMinimalFixSets = append(cell.PerfMinimalFixSets, f.String())
 		}
 	}
+
+	// Wakeup-streak verdict: which minimal fix sets silence the
+	// episode-level overload-on-wakeup witness present under the
+	// studied kernel.
+	streaksOf := func(f FixSet) int {
+		if st := lat[f].WakeStreaks; st != nil {
+			return st.Streaks
+		}
+		return 0
+	}
+	if base.WakeStreaks != nil && base.WakeStreaks.Streaks > 0 {
+		cell.BaselineStreaks = base.WakeStreaks.Streaks
+		cell.BaselineLongestStreak = base.WakeStreaks.Longest
+		minimal := minimalSets(func(f FixSet) bool { return streaksOf(f) == 0 })
+		cell.StreakUnresolved = len(minimal) == 0
+		for _, f := range minimal {
+			cell.StreakMinimalFixSets = append(cell.StreakMinimalFixSets, f.String())
+		}
+	}
+
+	// Latency verdict over completed runs carrying digests: the
+	// tail-latency analogue of the makespan verdict. A completed run
+	// without a wake digest recorded no wakeup-to-run delays, which is
+	// a genuine zero tail; the axis is skipped entirely only when no
+	// completed run has a digest (a pre-latency artifact).
+	p99Of := func(f FixSet) int64 {
+		if d := lat[f].WakeLatency; d != nil {
+			return d.P99Ns
+		}
+		return 0
+	}
+	anyDigest := false
+	bestLat := FixSet(0)
+	bestLatNs := int64(-1)
+	for _, f := range All() {
+		if !lat[f].Completed {
+			continue
+		}
+		if lat[f].WakeLatency != nil {
+			anyDigest = true
+		}
+		if p99 := p99Of(f); bestLatNs < 0 || p99 < bestLatNs {
+			bestLat, bestLatNs = f, p99
+		}
+	}
+	if anyDigest && bestLatNs >= 0 {
+		cell.LatencyBestSet = bestLat.String()
+		cell.LatencyBestP99Ns = bestLatNs
+		limit := float64(bestLatNs)*(1+opts.LatencyTolerancePct/100) + float64(opts.LatencySlack)
+		qualifies := func(f FixSet) bool {
+			return lat[f].Completed && float64(p99Of(f)) <= limit
+		}
+		for _, f := range minimalSets(qualifies) {
+			cell.LatencyMinimalFixSets = append(cell.LatencyMinimalFixSets, f.String())
+		}
+	}
 	return cell
 }
 
@@ -368,7 +457,9 @@ type Stability struct {
 // legitimately jitter across seeds.
 func (c *Cell) verdictSignature() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "minimal=%v unresolved=%v perf=%v", c.MinimalFixSets, c.Unresolved, c.PerfMinimalFixSets)
+	fmt.Fprintf(&b, "minimal=%v unresolved=%v perf=%v streak=%v latency=%v",
+		c.MinimalFixSets, c.Unresolved, c.PerfMinimalFixSets,
+		c.StreakMinimalFixSets, c.LatencyMinimalFixSets)
 	for _, cv := range c.ClassVerdicts {
 		fmt.Fprintf(&b, " %s=%v", cv.Class, cv.MinimalFixSets)
 	}
@@ -488,6 +579,19 @@ func (r *Report) FormatSummary() string {
 			fmt.Fprintf(&b, "  non-monotone: {%s} +%s -> {%s}: %v -> %v idle-while-overloaded (%s)\n",
 				in.Base, in.Added, in.Combined,
 				sim.Time(in.BaseIdleNs), sim.Time(in.CombinedIdleNs), formatClasses(in.Classes))
+		}
+		if c.BaselineStreaks > 0 {
+			verdict := formatNamedSets(c.StreakMinimalFixSets)
+			if c.StreakUnresolved {
+				verdict = "UNRESOLVED"
+			}
+			fmt.Fprintf(&b, "  wake streaks (>=%d busy-while-idle): baseline %d (longest %d) -> zeroed by %s\n",
+				r.StreakK, c.BaselineStreaks, c.BaselineLongestStreak, verdict)
+		}
+		if c.LatencyBestSet != "" {
+			fmt.Fprintf(&b, "  latency: best {%s} p99-wake %v; minimal within %.3g%%+%v: %s\n",
+				c.LatencyBestSet, sim.Time(c.LatencyBestP99Ns), r.LatencyTolerancePct,
+				sim.Time(r.LatencySlackNs), formatNamedSets(c.LatencyMinimalFixSets))
 		}
 		if c.PerfBestSet != "" {
 			fmt.Fprintf(&b, "  perf: best {%s} at %v; minimal within %.3g%%: %s\n",

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/latency"
 	"repro/internal/stats"
 )
 
@@ -95,6 +96,15 @@ func Compare(base, cur *Campaign, tolerancePct float64) *Comparison {
 		}
 		diff("makespan_s", nsToS(b.MakespanNs), nsToS(r.MakespanNs))
 		diff("idle_while_overloaded_s", nsToS(b.IdleWhileOverloadedNs), nsToS(r.IdleWhileOverloadedNs))
+		// Tail latency is a first-class regression axis. In a
+		// model-stamped baseline a nil digest means the scenario
+		// genuinely recorded zero wakeup-to-run delays, so it compares
+		// as p99=0 and a tail appearing out of nothing is flagged; only
+		// pre-stamp baselines (which could not have recorded digests)
+		// skip the axis.
+		if base.ModelVersion != "" && (b.WakeLatency != nil || r.WakeLatency != nil) {
+			diff("p99_wake_ms", p99Ms(b.WakeLatency), p99Ms(r.WakeLatency))
+		}
 		for metric, bv := range b.Extra {
 			if cv, ok := r.Extra[metric]; ok {
 				diff("extra:"+metric, bv, cv)
@@ -115,6 +125,15 @@ func Compare(base, cur *Campaign, tolerancePct float64) *Comparison {
 }
 
 func nsToS(ns int64) float64 { return float64(ns) / 1e9 }
+
+// p99Ms reads a digest's p99 in milliseconds, with nil meaning no
+// witnessed delay at all — a genuine zero under a model-stamped run.
+func p99Ms(d *latency.Digest) float64 {
+	if d == nil {
+		return 0
+	}
+	return float64(d.P99Ns) / 1e6
+}
 
 func sortRegressions(rs []Regression) {
 	sort.Slice(rs, func(i, j int) bool {

@@ -36,16 +36,27 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/latency"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
 // Version identifies the artifact schema; bump on incompatible change
-// only. Additive fields (the per-class episode breakdown and the
-// checker-lens stamp) do not bump it: older artifacts still parse, and
-// consumers needing the new fields diagnose their absence themselves
-// (see bisect.Analyze).
+// only. Additive fields (the per-class episode breakdown, the
+// checker-lens stamp, and the latency digests/streak witnesses) do not
+// bump it: older artifacts still parse, and consumers needing the new
+// fields diagnose their absence themselves (see bisect.Analyze).
 const Version = 1
+
+// ModelVersion identifies the scheduler model and metric pipeline that
+// produced an artifact. Bump it whenever a code change alters what any
+// scenario would record (scheduler behaviour, workload synthesis,
+// checker or latency instrumentation, new Result fields): the stamp is
+// part of the incremental-execution fingerprint, so a bump makes
+// cached prior results stale instead of silently splicing numbers from
+// an older model — the "same-binary assumption" the shard package
+// cannot otherwise verify.
+const ModelVersion = "4-latency"
 
 // Result is one scenario's collected metrics. All fields are derived
 // from virtual time and deterministic counters — never wall-clock — so
@@ -95,6 +106,20 @@ type Result struct {
 	// violations (zero unless RunnerOpts.Trace).
 	TraceEvents int `json:"trace_events"`
 
+	// WakeLatency digests the scenario's wakeup-to-run delays and
+	// RunqWait every runqueue-wait span (internal/latency; nil when the
+	// scenario recorded no samples). Both are deterministic functions of
+	// the scenario, so artifacts carrying them stay byte-identical
+	// across worker counts, shard merges and incremental re-runs.
+	WakeLatency *latency.Digest `json:"wake_latency,omitempty"`
+	RunqWait    *latency.Digest `json:"runq_wait,omitempty"`
+	// WakeStreaks witnesses wakeup-placement streaks (K consecutive
+	// wakeups on busy cores while an allowed core idled) — the
+	// episode-level overload-on-wakeup signal for runs whose episodes
+	// are too short for checker confirmation. Nil when no streak
+	// reached the campaign's threshold (Campaign.StreakK).
+	WakeStreaks *latency.Streaks `json:"wake_streaks,omitempty"`
+
 	// Extra holds workload-specific metrics (e.g. TPC-H Q18 seconds,
 	// global-queue overhead fractions). JSON object keys are sorted, so
 	// the encoding stays stable.
@@ -103,8 +128,14 @@ type Result struct {
 
 // Campaign is the aggregate artifact of one matrix run.
 type Campaign struct {
-	Version  int   `json:"version"`
-	BaseSeed int64 `json:"base_seed"`
+	Version int `json:"version"`
+	// ModelVersion stamps the scheduler-model/metric revision that ran
+	// the scenarios (see the ModelVersion constant). Merge requires all
+	// shards to agree, and incremental re-runs treat a mismatch (or an
+	// old artifact without the stamp) as a full invalidation. Omitted
+	// when empty so pre-stamp artifacts keep their bytes.
+	ModelVersion string `json:"model_version,omitempty"`
+	BaseSeed     int64  `json:"base_seed"`
 	// ScaleMilli is the workload scale in thousandths (an integer so the
 	// artifact never depends on float formatting of user input).
 	ScaleMilli int64 `json:"scale_milli"`
@@ -123,6 +154,11 @@ type Campaign struct {
 	// pre-existing artifacts keep their bytes; incremental re-runs use it
 	// as part of the cache fingerprint.
 	Trace bool `json:"trace,omitempty"`
+	// StreakK records the wakeup-streak threshold every scenario ran
+	// under (after campaign defaulting); per-result WakeStreaks counts
+	// are only meaningful against it, so it joins the merge checks and
+	// the incremental fingerprint.
+	StreakK int `json:"streak_k,omitempty"`
 	// Results are sorted by Key — insertion order (and therefore worker
 	// scheduling) cannot leak into the artifact.
 	Results []Result `json:"results"`
@@ -181,15 +217,23 @@ func (c *Campaign) FormatSummary() string {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "campaign: %d scenarios (base seed %d, scale %.3g)\n\n",
 		len(c.Results), c.BaseSeed, float64(c.ScaleMilli)/1000)
-	fmt.Fprintf(&b, "%-44s %12s %10s %6s %12s\n",
-		"scenario", "makespan", "events", "viol", "idle-ovl")
+	fmt.Fprintf(&b, "%-44s %12s %10s %6s %12s %10s %7s\n",
+		"scenario", "makespan", "events", "viol", "idle-ovl", "p99-wake", "streaks")
 	for _, r := range c.Results {
 		makespan := sim.Time(r.MakespanNs).String()
 		if !r.Completed {
 			makespan = ">" + sim.Time(r.MakespanNs).String()
 		}
-		fmt.Fprintf(&b, "%-44s %12s %10d %6d %12s\n",
-			r.Key, makespan, r.Events, r.Violations, sim.Time(r.IdleWhileOverloadedNs))
+		p99 := "-"
+		if r.WakeLatency != nil {
+			p99 = sim.Time(r.WakeLatency.P99Ns).String()
+		}
+		streaks := 0
+		if r.WakeStreaks != nil {
+			streaks = r.WakeStreaks.Streaks
+		}
+		fmt.Fprintf(&b, "%-44s %12s %10d %6d %12s %10s %7d\n",
+			r.Key, makespan, r.Events, r.Violations, sim.Time(r.IdleWhileOverloadedNs), p99, streaks)
 	}
 	return b.String()
 }

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/latency"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -194,13 +195,16 @@ func TestCompare(t *testing.T) {
 
 func TestWorkloadByName(t *testing.T) {
 	for _, name := range []string{"make2r", "tpch", "globalq", "nas:lu", "nas:ep", "nas-pin:lu", "nas-pin:cg",
-		"nas-hotplug:lu", "nas-hotplug:cg"} {
+		"nas-hotplug:lu", "nas-hotplug:cg", "nas-hotplug-storm:lu:4", "nas-hotplug-storm:cg:2",
+		"serve:3000", "serve:750"} {
 		w, ok := WorkloadByName(name)
 		if !ok || w.Name != name {
 			t.Errorf("WorkloadByName(%q) = %q, %v", name, w.Name, ok)
 		}
 	}
-	for _, name := range []string{"nas:nope", "nas-pin:nope", "nas-hotplug:nope", "bogus"} {
+	for _, name := range []string{"nas:nope", "nas-pin:nope", "nas-hotplug:nope", "bogus",
+		"nas-hotplug-storm:lu", "nas-hotplug-storm:nope:3", "nas-hotplug-storm:lu:0",
+		"serve:0", "serve:fast"} {
 		if _, ok := WorkloadByName(name); ok {
 			t.Errorf("WorkloadByName(%q) unexpectedly ok", name)
 		}
@@ -325,6 +329,135 @@ func TestEpisodeClassBreakdown(t *testing.T) {
 	}
 	if fixed.EpisodeClasses["group-construction"] != 0 {
 		t.Errorf("fixed run still shows group-construction episodes: %v", fixed.EpisodeClasses)
+	}
+}
+
+// TestLatencyArtifactFields: every executed artifact is stamped with
+// the model version and streak threshold, and a busy scenario carries
+// both digests with self-consistent numbers.
+func TestLatencyArtifactFields(t *testing.T) {
+	c, err := Run(latticeMatrix(), RunnerOpts{Workers: 4, BaseSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ModelVersion != ModelVersion {
+		t.Errorf("artifact model version %q, want %q", c.ModelVersion, ModelVersion)
+	}
+	if c.StreakK != 4 {
+		t.Errorf("artifact streak threshold %d, want the default 4", c.StreakK)
+	}
+	// nas-pin:lu is spin-based (no blocking wakeups): it records waits
+	// but no wake delays. The wake digest needs a wakeup-heavy scenario.
+	if r := c.Result("bulldozer8/nas-pin:lu/fx-none/s1"); r.WakeLatency != nil || r.RunqWait == nil {
+		t.Fatalf("spin workload digests: wake=%v wait=%v, want nil/non-nil", r.WakeLatency, r.RunqWait)
+	}
+	tm := Matrix{
+		Topologies: MustTopologies("bulldozer8"),
+		Workloads:  MustWorkloads("tpch"),
+		Configs:    pickConfigs("bugs"),
+		Seeds:      []int64{1},
+		Scale:      0.25,
+		Horizon:    100 * sim.Second,
+	}
+	ct, err := Run(tm, RunnerOpts{Workers: 1, BaseSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ct.Result("bulldozer8/tpch/bugs/s1")
+	if r.WakeLatency == nil || r.RunqWait == nil {
+		t.Fatalf("wakeup-heavy scenario has no latency digests: %+v", r)
+	}
+	for _, d := range []struct {
+		name string
+		d    *latency.Digest
+	}{{"wake", r.WakeLatency}, {"wait", r.RunqWait}} {
+		if d.d.Count == 0 {
+			t.Errorf("%s digest empty", d.name)
+		}
+		if !(d.d.P50Ns <= d.d.P95Ns && d.d.P95Ns <= d.d.P99Ns && d.d.P99Ns <= d.d.MaxNs) {
+			t.Errorf("%s digest percentiles out of order: %+v", d.name, d.d)
+		}
+	}
+	// Every wakeup-to-run delay is also a runqueue wait.
+	if r.RunqWait.Count < r.WakeLatency.Count {
+		t.Errorf("wait count %d < wake count %d", r.RunqWait.Count, r.WakeLatency.Count)
+	}
+	// A custom threshold reaches the artifact stamp.
+	c2, err := RunScenarios(nil, RunnerOpts{BaseSeed: 42, StreakK: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.StreakK != 9 {
+		t.Errorf("custom streak threshold not stamped: %d", c2.StreakK)
+	}
+}
+
+// TestServeWorkload: the request-serving scenario completes, reports
+// ordered per-request percentiles, and serves every injected request.
+func TestServeWorkload(t *testing.T) {
+	m := Matrix{
+		Topologies: MustTopologies("bulldozer8"),
+		Workloads:  MustWorkloads("serve:3000"),
+		Configs:    pickConfigs("bugs", "fixed"),
+		Seeds:      []int64{1},
+		Scale:      0.25,
+		Horizon:    50 * sim.Second,
+	}
+	c, err := Run(m, RunnerOpts{Workers: 2, BaseSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"bulldozer8/serve:3000/bugs/s1", "bulldozer8/serve:3000/fixed/s1"} {
+		r := c.Result(key)
+		if r == nil || !r.Completed {
+			t.Fatalf("%s missing or incomplete", key)
+		}
+		e := r.Extra
+		if e["served"] < 50 {
+			t.Errorf("%s served %v requests, want >= 50", key, e["served"])
+		}
+		if !(e["serve_p50_ms"] <= e["serve_p95_ms"] && e["serve_p95_ms"] <= e["serve_p99_ms"] &&
+			e["serve_p99_ms"] <= e["serve_max_ms"]) {
+			t.Errorf("%s percentiles out of order: %v", key, e)
+		}
+		if e["serve_p50_ms"] <= 0 {
+			t.Errorf("%s p50 = %v, want > 0", key, e["serve_p50_ms"])
+		}
+	}
+}
+
+// TestHotplugStormWorkload: the storm generalizes the single-cycle
+// Table 3 run — domains are rebuilt once per disable/enable, the bug
+// still cripples the run, and the Missing Domains fix restores it.
+func TestHotplugStormWorkload(t *testing.T) {
+	m := Matrix{
+		Topologies: MustTopologies("bulldozer8"),
+		Workloads:  MustWorkloads("nas-hotplug-storm:lu:3"),
+		Configs:    pickConfigs("bugs", "fix-md"),
+		Seeds:      []int64{1},
+		Scale:      0.25,
+		Horizon:    100 * sim.Second,
+	}
+	c, err := Run(m, RunnerOpts{Workers: 2, BaseSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buggy := c.Result("bulldozer8/nas-hotplug-storm:lu:3/bugs/s1")
+	fixed := c.Result("bulldozer8/nas-hotplug-storm:lu:3/fix-md/s1")
+	if buggy == nil || fixed == nil || !buggy.Completed || !fixed.Completed {
+		t.Fatalf("storm scenarios missing or incomplete:\n%s", c.FormatSummary())
+	}
+	// 3 cycles = 6 hotplug transitions = 6 rebuilds beyond the initial
+	// domain build (rebuilds also happen at Start, which does not count
+	// the counter).
+	if buggy.Counters.DomainRebuilds < 6 {
+		t.Errorf("buggy run rebuilt domains %d times, want >= 6", buggy.Counters.DomainRebuilds)
+	}
+	if ratio := float64(buggy.MakespanNs) / float64(fixed.MakespanNs); ratio < 2 {
+		t.Errorf("storm bug/fix makespan ratio = %.2f, want >= 2", ratio)
+	}
+	if buggy.IdleWhileOverloadedNs == 0 {
+		t.Error("buggy storm run shows no idle-while-overloaded time")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/checker"
+	"repro/internal/latency"
 	"repro/internal/machine"
 	"repro/internal/modsched"
 	"repro/internal/sim"
@@ -33,6 +34,10 @@ type RunnerOpts struct {
 	// campaign defaults (see effectiveChecker); the resolved lens is
 	// stamped into the artifact.
 	Checker checker.Config
+	// StreakK overrides the wakeup-streak threshold (0 =
+	// latency.DefaultStreakK). The resolved value is stamped into the
+	// artifact: streak counts are only comparable at equal K.
+	StreakK int
 	// OnResult, when non-nil, is called from worker goroutines as each
 	// scenario finishes (for progress reporting). Calls may arrive in
 	// any order; the callback must be safe for concurrent use.
@@ -54,6 +59,16 @@ func (o RunnerOpts) EffectiveChecker() checker.Config {
 		cfg.M = 50 * sim.Millisecond
 	}
 	return cfg
+}
+
+// EffectiveStreakK resolves the wakeup-streak threshold the campaign
+// runs (and stamps) — the single resolution shared by runScenario, the
+// artifact stamp, and the shard package's incremental fingerprint.
+func (o RunnerOpts) EffectiveStreakK() int {
+	if o.StreakK <= 0 {
+		return latency.DefaultStreakK
+	}
+	return o.StreakK
 }
 
 // DeriveSeed maps (base seed, scenario key, scenario seed) to the engine
@@ -101,8 +116,10 @@ func RunScenarios(scenarios []Scenario, opts RunnerOpts) (*Campaign, error) {
 // byte-identical to a full re-run.
 func AssembleArtifact(scenarios []Scenario, results []Result, opts RunnerOpts) (*Campaign, error) {
 	ck := opts.EffectiveChecker()
-	c := &Campaign{Version: Version, BaseSeed: opts.BaseSeed, Trace: opts.Trace,
-		CheckerSNs: int64(ck.S), CheckerMNs: int64(ck.M), Results: results}
+	c := &Campaign{Version: Version, ModelVersion: ModelVersion,
+		BaseSeed: opts.BaseSeed, Trace: opts.Trace,
+		CheckerSNs: int64(ck.S), CheckerMNs: int64(ck.M),
+		StreakK: opts.EffectiveStreakK(), Results: results}
 	// Stamp the campaign-wide scale and horizon only when they are
 	// uniform across scenarios; a mixed list leaves them zero rather
 	// than mislabeling the artifact with the first scenario's values.
@@ -205,7 +222,10 @@ func runScenario(sc Scenario, opts RunnerOpts) Result {
 		rec = trace.NewRecorder(1 << 16)
 		m.SetRecorder(rec)
 	}
+	col := latency.NewCollector(latency.Config{StreakK: opts.EffectiveStreakK()})
+	m.Sched.SetLatencyProbe(col)
 	ck := checker.New(m.Sched, rec, opts.EffectiveChecker())
+	ck.ObserveLatency(col)
 	ck.Start()
 	defer ck.Stop()
 
@@ -249,6 +269,9 @@ func runScenario(sc Scenario, opts RunnerOpts) Result {
 		IdleWhileOverloadedNs: int64(idleOverloaded),
 		EpisodeClasses:        classes,
 		IdleNsByClass:         idleByClass,
+		WakeLatency:           col.WakeDigest(),
+		RunqWait:              col.WaitDigest(),
+		WakeStreaks:           col.StreakStats(),
 		Extra:                 outcome.Extra,
 	}
 	if rec != nil {

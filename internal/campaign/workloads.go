@@ -1,11 +1,14 @@
 package campaign
 
 import (
+	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/globalq"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -52,6 +55,8 @@ func BuiltinWorkloads() []Workload {
 		nasWorkload("ep"),
 		nasPinnedWorkload("lu"),
 		nasHotplugWorkload("lu"),
+		nasHotplugStormWorkload("lu", 4),
+		serveWorkload(3000),
 		globalqWorkload(),
 	}
 }
@@ -77,6 +82,21 @@ func WorkloadByName(name string) (Workload, bool) {
 	if app, ok := strings.CutPrefix(name, "nas-hotplug:"); ok {
 		if _, found := workload.NASAppByName(app); found {
 			return nasHotplugWorkload(app), true
+		}
+	}
+	if rest, ok := strings.CutPrefix(name, "nas-hotplug-storm:"); ok {
+		app, cyc, ok := strings.Cut(rest, ":")
+		if ok {
+			if _, found := workload.NASAppByName(app); found {
+				if cycles, err := strconv.Atoi(cyc); err == nil && cycles >= 1 {
+					return nasHotplugStormWorkload(app, cycles), true
+				}
+			}
+		}
+	}
+	if qpsStr, ok := strings.CutPrefix(name, "serve:"); ok {
+		if qps, err := strconv.Atoi(qpsStr); err == nil && qps >= 1 {
+			return serveWorkload(qps), true
 		}
 	}
 	return Workload{}, false
@@ -265,6 +285,109 @@ func nasHotplugWorkload(name string) Workload {
 		})
 		end, done := rc.M.RunUntilDone(rc.Horizon, p)
 		return Outcome{Makespan: end, Completed: done}
+	}}
+}
+
+// nasHotplugStormWorkload generalizes the Table 3 configuration to a
+// hotplug *storm*: the NPB program launches normally, then the
+// machine's last core is disabled and re-enabled repeatedly while the
+// program runs. Every cycle forces a domain regeneration and a burst of
+// hotplug migrations; with the Missing Scheduling Domains bug the first
+// regeneration drops every node-spanning level and each further cycle
+// re-breaks whatever state the workload had recovered. Makespan is the
+// program's completion time.
+func nasHotplugStormWorkload(name string, cycles int) Workload {
+	wname := fmt.Sprintf("nas-hotplug-storm:%s:%d", name, cycles)
+	return Workload{Name: wname, Run: func(rc *RunContext) Outcome {
+		app, ok := workload.NASAppByName(name)
+		if !ok {
+			panic("campaign: unknown NAS app " + name)
+		}
+		p := app.Launch(rc.M, workload.NASLaunchOpts{
+			Threads:   rc.Topo.NumCores(),
+			SpawnCore: 0,
+			Seed:      rc.Seed,
+			Scale:     rc.Scale,
+		})
+		// The storm rides on engine events so it interleaves with the
+		// running program: disable, let the drain settle, re-enable,
+		// settle, repeat.
+		last := topology.CoreID(rc.Topo.NumCores() - 1)
+		const phase = 5 * sim.Millisecond
+		var cycle func(i int)
+		cycle = func(i int) {
+			if i >= cycles {
+				return
+			}
+			if err := rc.M.DisableCore(last); err != nil {
+				panic(err)
+			}
+			rc.M.Eng.After(phase, func() {
+				if err := rc.M.EnableCore(last); err != nil {
+					panic(err)
+				}
+				rc.M.Eng.After(phase, func() { cycle(i + 1) })
+			})
+		}
+		rc.M.Eng.After(phase, func() { cycle(0) })
+		end, done := rc.M.RunUntilDone(rc.Horizon, p)
+		return Outcome{Makespan: end, Completed: done}
+	}}
+}
+
+// serveWorkload is the latency-oriented request-serving scenario: a
+// worker pool (one thread per core) drains an open-loop Poisson stream
+// of qps requests per virtual second, with the §3.3 transient kernel
+// noise in the background. The figure of merit is the per-request
+// sojourn distribution — Extra carries its percentiles (milliseconds),
+// so artifacts expose tail latency even for consumers that ignore the
+// wake-latency digests. Makespan is the completion time of the last
+// request.
+func serveWorkload(qps int) Workload {
+	wname := fmt.Sprintf("serve:%d", qps)
+	return Workload{Name: wname, Run: func(rc *RunContext) Outcome {
+		// Scale sizes the request count (2 virtual seconds of traffic at
+		// scale 1); service times stay fixed so percentiles compare
+		// across scales.
+		requests := int(float64(qps) * 2 * rc.Scale)
+		if requests < 50 {
+			requests = 50
+		}
+		noise := workload.StartNoise(rc.M, workload.NoiseOpts{
+			MeanInterval: 3 * sim.Millisecond,
+			MinDur:       200 * sim.Microsecond,
+			MaxDur:       900 * sim.Microsecond,
+			Seed:         rc.Seed + 1,
+		})
+		defer noise.Stop()
+		srv := workload.StartServe(rc.M, workload.ServeOpts{
+			QPS:      float64(qps),
+			Requests: requests,
+			Seed:     rc.Seed,
+		})
+		end, done := srv.Run(rc.Horizon)
+		lats := srv.Latencies()
+		if len(lats) == 0 {
+			return Outcome{Makespan: rc.Horizon, Completed: false}
+		}
+		ms := make([]float64, len(lats))
+		for i, l := range lats {
+			ms[i] = float64(l) / float64(sim.Millisecond)
+		}
+		if !done {
+			end = rc.Horizon
+		}
+		return Outcome{
+			Makespan:  end,
+			Completed: done,
+			Extra: map[string]float64{
+				"served":       float64(srv.Completed()),
+				"serve_p50_ms": stats.Percentile(ms, 50),
+				"serve_p95_ms": stats.Percentile(ms, 95),
+				"serve_p99_ms": stats.Percentile(ms, 99),
+				"serve_max_ms": stats.Max(ms),
+			},
+		}
 	}}
 }
 

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/latency"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -81,6 +82,11 @@ type Violation struct {
 	// WakeupsOnBusyDuring counts wakeups placed on busy cores during the
 	// monitoring window — the §3.3 symptom feeding the classification.
 	WakeupsOnBusyDuring uint64
+	// WakeStreaksDuring counts wakeup-placement streaks (see
+	// internal/latency) completed during the monitoring window — the
+	// episode-level §3.3 witness, populated when a latency collector is
+	// observed (ObserveLatency).
+	WakeStreaksDuring int
 	// Class is the bug signature this episode matches (see Classify).
 	Class Class
 }
@@ -97,6 +103,7 @@ type Checker struct {
 	eng *sim.Engine
 	cfg Config
 	rec *trace.Recorder
+	lat *latency.Collector
 
 	checks     uint64
 	candidates uint64
@@ -111,6 +118,13 @@ type Checker struct {
 func New(s *sched.Scheduler, rec *trace.Recorder, cfg Config) *Checker {
 	return &Checker{s: s, eng: s.Engine(), cfg: cfg.withDefaults(), rec: rec}
 }
+
+// ObserveLatency attaches a latency collector so confirmed violations
+// carry the wakeup-streak witness of their monitoring window, and
+// WriteReport can include the streak evidence alongside the invariant
+// one. The collector is typically the same one installed as the
+// scheduler's latency probe.
+func (c *Checker) ObserveLatency(col *latency.Collector) { c.lat = col }
 
 // Start begins periodic checking.
 func (c *Checker) Start() {
@@ -175,6 +189,7 @@ func (c *Checker) beginMonitoring(idle, busy topology.CoreID) {
 	c.monitoring = true
 	detectedAt := c.eng.Now()
 	startCounters := c.s.Counters()
+	startStreaks := c.streakCount()
 	step := c.cfg.M / sim.Time(c.cfg.Samples)
 	var sample func(n int)
 	sample = func(n int) {
@@ -185,7 +200,7 @@ func (c *Checker) beginMonitoring(idle, busy topology.CoreID) {
 			return
 		}
 		if n >= c.cfg.Samples {
-			c.flag(detectedAt, i, b, startCounters)
+			c.flag(detectedAt, i, b, startCounters, startStreaks)
 			c.monitoring = false
 			return
 		}
@@ -194,7 +209,16 @@ func (c *Checker) beginMonitoring(idle, busy topology.CoreID) {
 	c.eng.After(step, func() { sample(1) })
 }
 
-func (c *Checker) flag(detectedAt sim.Time, idle, busy topology.CoreID, start sched.Counters) {
+// streakCount reads the observed collector's streak tally (0 without
+// one).
+func (c *Checker) streakCount() int {
+	if c.lat == nil {
+		return 0
+	}
+	return c.lat.StreakCount()
+}
+
+func (c *Checker) flag(detectedAt sim.Time, idle, busy topology.CoreID, start sched.Counters, startStreaks int) {
 	nowCounters := c.s.Counters()
 	wakeupsOnBusy := nowCounters.WakeupsOnBusy - start.WakeupsOnBusy
 	v := Violation{
@@ -205,6 +229,7 @@ func (c *Checker) flag(detectedAt sim.Time, idle, busy topology.CoreID, start sc
 		MigrationsDuring:    nowCounters.Migrations - start.Migrations,
 		ForksDuring:         nowCounters.Forks - start.Forks,
 		WakeupsOnBusyDuring: wakeupsOnBusy,
+		WakeStreaksDuring:   c.streakCount() - startStreaks,
 		Class:               Classify(c.s, idle, busy, wakeupsOnBusy),
 	}
 	for _, cpu := range c.s.OnlineCPUs() {
@@ -238,6 +263,12 @@ func (c *Checker) WriteReport(w io.Writer) error {
 			}
 		}
 		fmt.Fprintln(w)
+	}
+	if c.lat != nil {
+		fmt.Fprintf(w, "wakeup-to-run latency: %s\n", c.lat.WakeDigest())
+		if st := c.lat.StreakStats(); st != nil {
+			fmt.Fprintf(w, "wakeup-placement streaks (§3.3 witness): %s\n", st)
+		}
 	}
 	for i, v := range c.violations {
 		fmt.Fprintf(w, "\nviolation %d: %s\n", i+1, v)

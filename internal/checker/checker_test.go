@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/latency"
 	"repro/internal/machine"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -94,6 +95,33 @@ func TestDetectsPersistentViolation(t *testing.T) {
 	}
 	if !strings.Contains(v.String(), "idle") {
 		t.Fatal("report string malformed")
+	}
+}
+
+// TestObserveLatency: with a latency collector observed, the checker's
+// report carries the wakeup-to-run digest (and the streak witness when
+// placement streaks occurred), and confirmed violations snapshot the
+// streak delta of their monitoring window.
+func TestObserveLatency(t *testing.T) {
+	m, c, _ := brokenScenario(t)
+	col := latency.NewCollector(latency.Config{})
+	m.Sched.SetLatencyProbe(col)
+	c.ObserveLatency(col)
+	m.Run(2 * sim.Second)
+	if len(c.Violations()) == 0 {
+		t.Fatal("persistent violation not detected")
+	}
+	for _, v := range c.Violations() {
+		if v.WakeStreaksDuring < 0 {
+			t.Fatalf("negative streak delta: %+v", v)
+		}
+	}
+	var b strings.Builder
+	if err := c.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "wakeup-to-run latency") {
+		t.Fatalf("report misses the latency digest:\n%s", b.String())
 	}
 }
 

@@ -85,6 +85,10 @@ type Task struct {
 	Dur    sim.Time
 	Fanout int
 	Depth  int
+	// OnDone, when non-nil, runs when the task's compute completes — the
+	// hook request-serving workloads use to timestamp per-request
+	// completion (sojourn = completion − arrival).
+	OnDone func()
 }
 
 // WorkQueue models a pool-of-workers task queue (the commercial database

@@ -62,6 +62,9 @@ func (m *Machine) computeDone(t *MThread, epoch uint64) {
 			child := Task{Dur: task.Dur, Fanout: task.Fanout, Depth: task.Depth - 1}
 			m.pushTasks(q, child, task.Fanout, t)
 		}
+		if done := t.poppedTask.OnDone; done != nil {
+			done()
+		}
 		if q.Idle() {
 			m.wakeDrainers(q, t)
 		}
@@ -399,6 +402,21 @@ func (m *Machine) pushTasks(q *WorkQueue, task Task, count int, pusher *MThread)
 		q.popWaiters = q.popWaiters[1:]
 		m.Sched.Wake(w.T, pusher.T)
 		n--
+	}
+}
+
+// InjectTask pushes a single task onto q from outside the VM — an
+// open-loop arrival process driven by engine events rather than by a
+// program instruction. A blocked popper is woken with no waker, like a
+// timer expiration, so placement starts from the wakee's previous core
+// and walks the §3.3 node-local search path.
+func (m *Machine) InjectTask(q *WorkQueue, task Task) {
+	q.tasks = append(q.tasks, task)
+	q.Pushed++
+	if len(q.popWaiters) > 0 {
+		w := q.popWaiters[0]
+		q.popWaiters = q.popWaiters[1:]
+		m.Sched.Wake(w.T, nil)
 	}
 }
 

@@ -127,6 +127,7 @@ func (s *Scheduler) schedule(c *CPU) {
 		prev.state = StateRunnable
 		prev.lastRan = now
 		c.curr = nil
+		s.markWaiting(prev, false)
 		c.rq.enqueue(prev)
 		s.adjustOccupancy()
 	}
@@ -143,9 +144,11 @@ func (s *Scheduler) schedule(c *CPU) {
 		// prev is still the fairest choice: keep it running without
 		// bouncing it through the hooks (its pending work events stay
 		// valid). The stint restarts, as with the kernel's
-		// set_next_entity.
+		// set_next_entity. The zero-length wait span is discarded — no
+		// context switch happened, so there is no latency to witness.
 		c.rq.dequeue(prev)
 		prev.state = StateRunning
+		prev.waiting = false
 		c.curr = prev
 		c.accruedUpTo = now
 		prev.execStart = now
@@ -169,6 +172,7 @@ func (s *Scheduler) startThread(c *CPU, t *Thread) {
 		panic("sched: startThread on busy cpu")
 	}
 	s.leaveIdle(c)
+	s.observeWaitEnd(c, t)
 	c.curr = t
 	c.accruedUpTo = now
 	t.state = StateRunning
@@ -328,6 +332,11 @@ func (s *Scheduler) enqueueThread(c *CPU, t *Thread, flag enqueueFlag) {
 		}
 	case enqMigrate:
 		// vruntime was renormalized by the caller (detach/attach).
+	}
+	if flag != enqMigrate {
+		// Migration continues an existing wait span; fork and wakeup
+		// start one.
+		s.markWaiting(t, flag == enqWakeup)
 	}
 	t.state = StateRunnable
 	t.cpu = c.id

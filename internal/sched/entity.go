@@ -109,6 +109,13 @@ type Thread struct {
 	onRQ   rqHandle // handle into the runqueue tree when queued
 	queued bool
 
+	// Runqueue-wait span tracking for the latency probe: waitSince marks
+	// when the thread last became runnable (migrations do not restart
+	// it), waitWakeup whether that transition was a wakeup.
+	waitSince  sim.Time
+	waitWakeup bool
+	waiting    bool
+
 	// Counters for tests and experiment reports.
 	nrMigrations     uint64
 	nrWakeups        uint64

@@ -61,13 +61,14 @@ func (nopHooks) ThreadStopped(topology.CoreID, *Thread, StopReason) {}
 
 // Scheduler is the multicore CFS instance.
 type Scheduler struct {
-	eng    *sim.Engine
-	topo   *topology.Topology
-	cfg    Config
-	cpus   []*CPU
-	hooks  Hooks
-	rec    *trace.Recorder
-	policy PlacementPolicy
+	eng      *sim.Engine
+	topo     *topology.Topology
+	cfg      Config
+	cpus     []*CPU
+	hooks    Hooks
+	rec      *trace.Recorder
+	policy   PlacementPolicy
+	latProbe LatencyProbe
 
 	idleCPUs     []topology.CoreID // ordered by idleSince ascending
 	nohzBalancer topology.CoreID   // -1 when unassigned
@@ -313,13 +314,15 @@ func (s *Scheduler) Wake(t *Thread, waker *Thread) {
 	t.nrWakeups++
 	cpu := s.selectTaskRQ(t, waker)
 	c := s.cpus[cpu]
-	if c.idle() {
-		t.wokenOnIdleCore++
-		s.counters.WakeupsOnIdle++
-	} else {
+	busy := !c.idle()
+	if busy {
 		t.wokenOnBusyCore++
 		s.counters.WakeupsOnBusy++
+	} else {
+		t.wokenOnIdleCore++
+		s.counters.WakeupsOnIdle++
 	}
+	s.observeWakeupPlaced(t, cpu, busy)
 	s.enqueueThread(c, t, enqWakeup)
 	if c.curr == nil {
 		s.resched(c)
@@ -516,6 +519,7 @@ func (s *Scheduler) DisableCPU(cpu topology.CoreID) error {
 		t.lastRan = s.eng.Now()
 		c.curr = nil
 		s.hooks.ThreadStopped(c.id, t, StopHotplug)
+		s.markWaiting(t, false)
 		c.rq.enqueue(t)
 	}
 	// Drain the runqueue onto allowed online cores.

@@ -14,11 +14,15 @@ import (
 // A prior result is reusable only when the scenario's whole execution
 // fingerprint matches — the same derived engine seed (which covers the
 // base seed and the scenario coordinates), the same scale and horizon,
-// and the same campaign-level lens (checker tuning, trace setting).
-// Anything the artifact cannot attest to (notably the scheduler-model
-// code itself) is out of scope: incremental re-runs assume the same
-// binary, which is why CI gates on the merged artifact against a stored
-// baseline rather than trusting the cache.
+// the same campaign-level lens (checker tuning, streak threshold, trace
+// setting), and the same model-version stamp. The stamp
+// (campaign.ModelVersion, bumped with every metric-visible change to
+// the scheduler model or its instrumentation) is what closes the
+// "same-binary assumption": an artifact produced by an older model —
+// including any pre-stamp artifact — invalidates wholesale instead of
+// silently splicing stale numbers. CI still gates the merged artifact
+// against a stored baseline, because a stamp is a discipline, not a
+// proof.
 type Diff struct {
 	// ToRun are the scenarios that must execute: new keys plus changed
 	// ones, in input order.
@@ -89,11 +93,15 @@ func staleCampaign(prior *campaign.Campaign, opts campaign.RunnerOpts) string {
 		return "no prior artifact"
 	case prior.Version != campaign.Version:
 		return fmt.Sprintf("artifact version %d, want %d", prior.Version, campaign.Version)
+	case prior.ModelVersion != campaign.ModelVersion:
+		return fmt.Sprintf("model version %q, this binary %q", prior.ModelVersion, campaign.ModelVersion)
 	case prior.BaseSeed != opts.BaseSeed:
 		return fmt.Sprintf("base seed %d, this run %d", prior.BaseSeed, opts.BaseSeed)
 	case prior.CheckerSNs != int64(ck.S) || prior.CheckerMNs != int64(ck.M):
 		return fmt.Sprintf("checker lens S=%dns M=%dns, this run S=%dns M=%dns",
 			prior.CheckerSNs, prior.CheckerMNs, int64(ck.S), int64(ck.M))
+	case prior.StreakK != opts.EffectiveStreakK():
+		return fmt.Sprintf("streak threshold K=%d, this run K=%d", prior.StreakK, opts.EffectiveStreakK())
 	case prior.Trace != opts.Trace:
 		return fmt.Sprintf("trace=%v, this run %v", prior.Trace, opts.Trace)
 	}

@@ -91,9 +91,12 @@ func (s Spec) Select(scenarios []campaign.Scenario) ([]campaign.Scenario, error)
 // Merge reconstructs a single artifact from shard artifacts. The merged
 // artifact is byte-identical to the one a single process running the
 // whole scenario list would have produced, provided the parts really are
-// a partition of one run: same base seed, checker lens and trace
-// setting (verified here), disjoint keys (verified here), and the same
-// binary (unverifiable — a fingerprint the artifact cannot carry).
+// a partition of one run: same base seed, model version, checker lens,
+// streak threshold and trace setting (verified here) and disjoint keys
+// (verified here). The model-version stamp is what approximates the
+// "same binary" requirement: two processes at the same stamp are
+// declared metric-compatible, a discipline enforced by bumping
+// campaign.ModelVersion with every metric-visible model change.
 //
 // Scale and horizon stamps follow the campaign's uniformity rule: they
 // survive the merge only when every non-empty part agrees, mirroring
@@ -104,11 +107,13 @@ func Merge(parts ...*campaign.Campaign) (*campaign.Campaign, error) {
 	}
 	first := parts[0]
 	merged := &campaign.Campaign{
-		Version:    first.Version,
-		BaseSeed:   first.BaseSeed,
-		CheckerSNs: first.CheckerSNs,
-		CheckerMNs: first.CheckerMNs,
-		Trace:      first.Trace,
+		Version:      first.Version,
+		ModelVersion: first.ModelVersion,
+		BaseSeed:     first.BaseSeed,
+		CheckerSNs:   first.CheckerSNs,
+		CheckerMNs:   first.CheckerMNs,
+		Trace:        first.Trace,
+		StreakK:      first.StreakK,
 	}
 	scaleSet := false
 	for i, p := range parts {
@@ -119,9 +124,15 @@ func Merge(parts ...*campaign.Campaign) (*campaign.Campaign, error) {
 		case p.BaseSeed != merged.BaseSeed:
 			return nil, fmt.Errorf("shard: part %d has base seed %d, others %d — not shards of one run",
 				i, p.BaseSeed, merged.BaseSeed)
+		case p.ModelVersion != merged.ModelVersion:
+			return nil, fmt.Errorf("shard: part %d has model version %q, others %q — not shards of one run",
+				i, p.ModelVersion, merged.ModelVersion)
 		case p.CheckerSNs != merged.CheckerSNs || p.CheckerMNs != merged.CheckerMNs:
 			return nil, fmt.Errorf("shard: part %d has checker lens S=%dns M=%dns, others S=%dns M=%dns — not shards of one run",
 				i, p.CheckerSNs, p.CheckerMNs, merged.CheckerSNs, merged.CheckerMNs)
+		case p.StreakK != merged.StreakK:
+			return nil, fmt.Errorf("shard: part %d has streak threshold K=%d, others K=%d — not shards of one run",
+				i, p.StreakK, merged.StreakK)
 		case p.Trace != merged.Trace:
 			return nil, fmt.Errorf("shard: part %d has trace=%v, others %v — not shards of one run",
 				i, p.Trace, merged.Trace)

@@ -171,6 +171,16 @@ func TestMergeRejectsForeignParts(t *testing.T) {
 	if _, err := Merge(a, mustRun(t, scs, traced)); err == nil {
 		t.Error("merge accepted parts with different trace settings")
 	}
+	streaked := testOpts()
+	streaked.StreakK = 9
+	if _, err := Merge(a, mustRun(t, scs, streaked)); err == nil {
+		t.Error("merge accepted parts with different streak thresholds")
+	}
+	staleModel := mustRun(t, scs, testOpts())
+	staleModel.ModelVersion = "0-pre-latency"
+	if _, err := Merge(a, staleModel); err == nil {
+		t.Error("merge accepted parts from different model versions")
+	}
 	if _, err := Merge(a, a); err == nil {
 		t.Error("merge accepted overlapping shards")
 	}
@@ -299,6 +309,40 @@ func TestIncrementalFingerprint(t *testing.T) {
 		}
 		if d.Invalidated == "" || len(d.Cached) != 0 {
 			t.Errorf("diff = %s, want full invalidation", d.Summary())
+		}
+	})
+	t.Run("model-version", func(t *testing.T) {
+		// The same-binary assumption, closed: an artifact stamped by an
+		// older model — including the empty pre-stamp form — never
+		// splices into a new run.
+		stale := *prior
+		stale.ModelVersion = "0-pre-latency"
+		_, d, err := RunIncremental(scs, &stale, testOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Invalidated == "" || len(d.Cached) != 0 {
+			t.Errorf("diff = %s, want full invalidation on model-version mismatch", d.Summary())
+		}
+		unstamped := *prior
+		unstamped.ModelVersion = ""
+		_, d, err = RunIncremental(scs, &unstamped, testOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Invalidated == "" || len(d.Cached) != 0 {
+			t.Errorf("diff = %s, want full invalidation for a pre-stamp artifact", d.Summary())
+		}
+	})
+	t.Run("streak-k", func(t *testing.T) {
+		opts := testOpts()
+		opts.StreakK = 9
+		_, d, err := RunIncremental(scs, prior, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Invalidated == "" || len(d.Cached) != 0 {
+			t.Errorf("diff = %s, want full invalidation on streak-threshold change", d.Summary())
 		}
 	})
 	t.Run("checker-lens", func(t *testing.T) {

@@ -57,6 +57,62 @@ func TestMedianPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileEdgeCases pins the behaviours the latency digests rely
+// on: a single sample answers every percentile, duplicate-heavy input
+// interpolates between equal order statistics without drift, inputs are
+// not mutated, and finite input can never produce NaN.
+func TestPercentileEdgeCases(t *testing.T) {
+	// Single sample: every percentile is that sample.
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := Percentile([]float64{7.5}, p); got != 7.5 {
+			t.Errorf("Percentile([7.5], %v) = %v, want 7.5", p, got)
+		}
+	}
+	// Out-of-range p clamps to the extremes.
+	xs := []float64{10, 20, 30}
+	if Percentile(xs, -5) != 10 || Percentile(xs, 250) != 30 {
+		t.Errorf("out-of-range p not clamped: %v / %v", Percentile(xs, -5), Percentile(xs, 250))
+	}
+	// Duplicate-heavy input: interpolation between equal neighbours
+	// stays exactly on the duplicated value.
+	dups := []float64{5, 5, 5, 5, 5, 5, 5, 9}
+	for _, p := range []float64{10, 50, 80} {
+		if got := Percentile(dups, p); got != 5 {
+			t.Errorf("duplicate-heavy P%v = %v, want 5", p, got)
+		}
+	}
+	if got := Percentile(dups, 100); got != 9 {
+		t.Errorf("duplicate-heavy P100 = %v, want 9", got)
+	}
+	// The input slice is not reordered (Percentile sorts a copy).
+	unsorted := []float64{3, 1, 2}
+	Percentile(unsorted, 50)
+	if unsorted[0] != 3 || unsorted[1] != 1 || unsorted[2] != 2 {
+		t.Errorf("Percentile mutated its input: %v", unsorted)
+	}
+}
+
+// TestPropertyPercentileNaNFree: finite inputs never yield NaN or an
+// out-of-range result, for any percentile.
+func TestPropertyPercentileNaNFree(t *testing.T) {
+	f := func(raw []float64, p uint16) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		got := Percentile(xs, float64(p%150)) // includes p > 100
+		return !math.IsNaN(got) && got >= Min(xs) && got <= Max(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSpeedup(t *testing.T) {
 	if !almost(Speedup(1040, 38), 27.368421052631579) {
 		t.Fatal("speedup") // lu's Table 1 row

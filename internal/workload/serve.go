@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// This file models a latency-oriented request-serving system: a pool of
+// worker threads (one per core, like the §3.3 database) drains an
+// open-loop Poisson stream of requests. Unlike the batch workloads,
+// whose figure of merit is makespan, the figure of merit here is the
+// per-request sojourn distribution — arrival to completion — which is
+// exactly where the paper's placement bugs surface for interactive
+// systems: a request that lands behind a stacked core pays the whole
+// queueing delay even while other cores idle.
+
+// ServeOpts configures the request-serving workload.
+type ServeOpts struct {
+	// Workers is the pool size (0 = one per core).
+	Workers int
+	// QPS is the mean request arrival rate per virtual second
+	// (exponential inter-arrivals).
+	QPS float64
+	// Requests is the total number of requests to serve.
+	Requests int
+	// MinSvc/MaxSvc bound the per-request service time (uniform;
+	// defaults 300µs/1.8ms, sub-millisecond like the paper's §3.3
+	// transient work).
+	MinSvc, MaxSvc sim.Time
+	// Seed drives arrivals and service times.
+	Seed int64
+	// SpawnCore is where the pool forks its workers (spread later by
+	// the balancer, as with the database pool).
+	SpawnCore topology.CoreID
+}
+
+func (o ServeOpts) withDefaults(cores int) ServeOpts {
+	if o.Workers <= 0 {
+		o.Workers = cores
+	}
+	if o.QPS <= 0 {
+		o.QPS = 500
+	}
+	if o.Requests <= 0 {
+		o.Requests = 500
+	}
+	if o.MinSvc == 0 {
+		o.MinSvc = 300 * sim.Microsecond
+	}
+	if o.MaxSvc == 0 {
+		o.MaxSvc = 1800 * sim.Microsecond
+	}
+	if o.MaxSvc < o.MinSvc {
+		o.MaxSvc = o.MinSvc
+	}
+	return o
+}
+
+// Serve is a running request-serving instance.
+type Serve struct {
+	m     *machine.Machine
+	opts  ServeOpts
+	queue *machine.WorkQueue
+	rng   *rand.Rand
+
+	injected  int
+	completed int
+	lastDone  sim.Time
+	latencies []sim.Time // per-request sojourn, arrival order of completion
+}
+
+// StartServe builds the worker pool and begins the arrival process.
+// Call Run to drive the machine until every request completed.
+func StartServe(m *machine.Machine, opts ServeOpts) *Serve {
+	opts = opts.withDefaults(m.Topo.NumCores())
+	s := &Serve{
+		m:     m,
+		opts:  opts,
+		queue: m.NewWorkQueue(),
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+	}
+	p := m.NewProc("server", machine.ProcOpts{})
+	for i := 0; i < opts.Workers; i++ {
+		prog := machine.NewProgram().
+			Repeat(1_000_000, func(b *machine.Builder) { b.Pop(s.queue) }).
+			Build()
+		p.SpawnOn(opts.SpawnCore, prog, machine.SpawnOpts{
+			Name: fmt.Sprintf("srv-%d", i),
+		})
+	}
+	s.scheduleNext()
+	return s
+}
+
+// scheduleNext arms the next request arrival.
+func (s *Serve) scheduleNext() {
+	if s.injected >= s.opts.Requests {
+		return
+	}
+	gap := sim.Time(s.rng.ExpFloat64() * float64(sim.Second) / s.opts.QPS)
+	if gap < sim.Microsecond {
+		gap = sim.Microsecond
+	}
+	s.m.Eng.After(gap, func() {
+		s.inject()
+		s.scheduleNext()
+	})
+}
+
+// inject emits one request: a task whose completion hook records the
+// sojourn.
+func (s *Serve) inject() {
+	s.injected++
+	svc := s.opts.MinSvc
+	if span := int64(s.opts.MaxSvc - s.opts.MinSvc); span > 0 {
+		svc += sim.Time(s.rng.Int63n(span + 1))
+	}
+	arrival := s.m.Eng.Now()
+	s.m.InjectTask(s.queue, machine.Task{Dur: svc, OnDone: func() {
+		now := s.m.Eng.Now()
+		s.completed++
+		s.lastDone = now
+		s.latencies = append(s.latencies, now-arrival)
+	}})
+}
+
+// Run drives the machine until every request has completed or the
+// horizon is hit, returning the completion time of the last request and
+// whether all completed.
+func (s *Serve) Run(horizon sim.Time) (sim.Time, bool) {
+	step := 10 * sim.Millisecond
+	for s.completed < s.opts.Requests && s.m.Eng.Now() < horizon {
+		next := s.m.Eng.Now() + step
+		if next > horizon {
+			next = horizon
+		}
+		s.m.Eng.RunUntil(next)
+	}
+	return s.lastDone, s.completed == s.opts.Requests
+}
+
+// Latencies returns each completed request's sojourn time in completion
+// order.
+func (s *Serve) Latencies() []sim.Time { return s.latencies }
+
+// Completed returns how many requests have finished.
+func (s *Serve) Completed() int { return s.completed }
