@@ -10,7 +10,14 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench campaign bisect bisect-smoke campaign-smoke \
+# Recipes pipe `go test` through tee (bench-out.txt); without pipefail a
+# benchmark build failure or panic would exit 0 through tee and CI would
+# gate on truncated output.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
+.PHONY: all build vet lint test race bench bench-out.txt bench-json \
+	bench-baseline-refresh profile campaign bisect bisect-smoke campaign-smoke \
 	bisect-nightly campaign-nightly baseline-refresh ci nightly
 
 all: ci
@@ -37,6 +44,37 @@ race:
 # `go test -bench=. -benchtime=...` directly.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+
+# The pinned perf-trajectory suite: the campaign throughput benchmark
+# (events/s + scenarios/s) plus the engine microbenchmarks, parsed into
+# a machine-readable report and gated against the committed allocation
+# baseline (allocs/op only — wall clock is not comparable across
+# machines). Exit 3 from benchjson = an allocation regression.
+BENCH_PKG_ARGS  = -run '^$$' -bench 'BenchmarkCampaign|BenchmarkSimulatorThroughput' -benchmem -benchtime 5x .
+BENCH_SIM_ARGS  = -run '^$$' -bench 'BenchmarkEngine|BenchmarkEvent' -benchmem -benchtime 1s ./internal/sim
+
+bench-out.txt:
+	@rm -f $@
+	$(GO) test $(BENCH_PKG_ARGS) | tee -a $@
+	$(GO) test $(BENCH_SIM_ARGS) | tee -a $@
+
+bench-json: bench-out.txt
+	$(GO) run ./cmd/benchjson -in bench-out.txt -out BENCH_campaign.json \
+		-baseline baselines/bench-smoke.json
+
+# Re-pin the allocation baseline after an intentional change (commit the
+# result, like the campaign/bisect baselines).
+bench-baseline-refresh: bench-out.txt
+	$(GO) run ./cmd/benchjson -in bench-out.txt -out baselines/bench-smoke.json
+
+# Capture CPU + allocation profiles of the campaign hot path. Explore
+# with `go tool pprof -http=:8080 cpu.prof` (View > Flame Graph), or
+# `go tool pprof -top cpu.prof` in a terminal.
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkCampaign/workers=1$$' -benchtime 5x \
+		-cpuprofile cpu.prof -memprofile mem.prof .
+	@echo "profiles written: cpu.prof mem.prof"
+	@echo "flamegraph: go tool pprof -http=:8080 cpu.prof"
 
 # The standard 30-scenario campaign at a fast scale, artifact to
 # campaign.json. Shard it with `-shard i/n` + `-merge`, or re-run

@@ -129,13 +129,15 @@ func BenchmarkFig5(b *testing.B) {
 // speedup: the smoke matrix executed with one worker versus one worker
 // per CPU. The artifacts are byte-identical either way (asserted in
 // internal/campaign's tests); this benchmark tracks the wall-clock win,
-// reporting scenarios/sec so BENCH_*.json records parallel throughput.
+// reporting scenarios/sec and simulation events/sec so BENCH_*.json
+// records both parallel and raw-engine throughput.
 func BenchmarkCampaign(b *testing.B) {
 	m := schedsim.DefaultCampaignMatrix()
 	m.Scale = 0.1
 	for _, workers := range []int{1, runtime.NumCPU()} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			var scenarios int
+			var events uint64
 			for i := 0; i < b.N; i++ {
 				c, err := schedsim.RunCampaign(m, schedsim.CampaignRunnerOpts{
 					Workers:  workers,
@@ -145,8 +147,13 @@ func BenchmarkCampaign(b *testing.B) {
 					b.Fatal(err)
 				}
 				scenarios = len(c.Results)
+				events = 0
+				for _, r := range c.Results {
+					events += r.Events
+				}
 			}
 			b.ReportMetric(float64(scenarios*b.N)/b.Elapsed().Seconds(), "scenarios/s")
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 		})
 	}
 }

@@ -53,6 +53,8 @@
 //	-baseline file   compare the embedded campaign against a previous
 //	                 bisect artifact's; exit 3 on regression
 //	-tolerance pct   baseline regression tolerance percent (default 2)
+//	-seed-bands file widen per-metric tolerances to the cross-seed spread
+//	                 observed in this multi-seed variance artifact
 //	-diff-out file   also write the -baseline comparison report to this file
 //	-q               suppress the verdict summary
 //
@@ -97,6 +99,7 @@ func main() {
 		out         = flag.String("out", "", "write JSON artifact to this file (\"-\" for stdout)")
 		baseline    = flag.String("baseline", "", "compare against this bisect artifact")
 		tolerance   = flag.Float64("tolerance", 2, "baseline regression tolerance percent")
+		bandSource  = flag.String("seed-bands", "", "artifact whose cross-seed spread widens per-metric tolerances")
 		diffOut     = flag.String("diff-out", "", "write the baseline comparison report to this file")
 		quiet       = flag.Bool("q", false, "suppress the verdict summary")
 	)
@@ -235,7 +238,15 @@ func main() {
 			fatalf("baseline %s used streak threshold K=%d, this run K=%d; not comparable",
 				*baseline, base.StreakK, r.StreakK)
 		}
-		cmp := campaign.Compare(base.Campaign, r.Campaign, *tolerance)
+		opts := campaign.CompareOpts{TolerancePct: *tolerance}
+		if *bandSource != "" {
+			src, err := campaign.Load(*bandSource)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			opts.Bands = campaign.SeedBands(src)
+		}
+		cmp := campaign.CompareWithOpts(base.Campaign, r.Campaign, opts)
 		report := campaign.FormatComparison(cmp)
 		fmt.Print(report)
 		if *diffOut != "" {

@@ -48,6 +48,9 @@
 //	-out file        write the JSON artifact here ("-" for stdout)
 //	-baseline file   compare against a previous artifact; exit 3 on regression
 //	-tolerance pct   regression tolerance percent (default 2)
+//	-seed-bands file widen per-metric tolerances to the cross-seed spread
+//	                 observed in this multi-seed variance artifact (build
+//	                 one with e.g. -seeds 1,2,3,4,5,6,7,8)
 //	-diff-out file   also write the -baseline comparison report to this file
 //	-q               suppress the summary table
 //	-list            print builtin topologies/workloads/configs and exit
@@ -93,6 +96,7 @@ func main() {
 		out         = flag.String("out", "", "write JSON artifact to this file (\"-\" for stdout)")
 		baseline    = flag.String("baseline", "", "compare against this artifact")
 		tolerance   = flag.Float64("tolerance", 2, "regression tolerance percent")
+		bandSource  = flag.String("seed-bands", "", "artifact whose cross-seed spread widens per-metric tolerances")
 		diffOut     = flag.String("diff-out", "", "write the baseline comparison report to this file")
 		quiet       = flag.Bool("q", false, "suppress the summary table")
 		list        = flag.Bool("list", false, "list builtin dimensions and exit")
@@ -210,7 +214,15 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		cmp := campaign.Compare(base, c, *tolerance)
+		opts := campaign.CompareOpts{TolerancePct: *tolerance}
+		if *bandSource != "" {
+			src, err := campaign.Load(*bandSource)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			opts.Bands = campaign.SeedBands(src)
+		}
+		cmp := campaign.CompareWithOpts(base, c, opts)
 		report := campaign.FormatComparison(cmp)
 		fmt.Print(report)
 		if *diffOut != "" {

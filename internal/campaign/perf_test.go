@@ -1,0 +1,33 @@
+package campaign
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// TestSmokeCampaignByteIdenticalAcrossWorkers is the perf-PR determinism
+// property: the CI smoke campaign run twice — serially and with one
+// worker per CPU — must produce byte-identical artifacts on the
+// allocation-free engine. This is the same property the committed
+// baselines pin, but asserted hermetically so a future engine change
+// that breaks worker-independence fails here first, with a diff.
+func TestSmokeCampaignByteIdenticalAcrossWorkers(t *testing.T) {
+	m := SmokeMatrix()
+	var artifacts [][]byte
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		c, err := Run(m, RunnerOpts{Workers: workers, BaseSeed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := c.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		artifacts = append(artifacts, data)
+	}
+	if !bytes.Equal(artifacts[0], artifacts[1]) {
+		t.Fatalf("campaign-smoke artifacts differ between workers=1 and workers=%d:\n--- w1 ---\n%s\n--- wN ---\n%s",
+			runtime.NumCPU(), artifacts[0], artifacts[1])
+	}
+}

@@ -111,12 +111,16 @@ type Checker struct {
 	violations []Violation
 	monitoring bool
 	stopped    bool
+
+	tm *sim.Timer // the periodic check, re-armed in place
 }
 
 // New creates a checker over s. rec may be nil; when present it is
 // activated for ProfileWindow after each confirmed violation.
 func New(s *sched.Scheduler, rec *trace.Recorder, cfg Config) *Checker {
-	return &Checker{s: s, eng: s.Engine(), cfg: cfg.withDefaults(), rec: rec}
+	c := &Checker{s: s, eng: s.Engine(), cfg: cfg.withDefaults(), rec: rec}
+	c.tm = c.eng.NewTimer(c.periodic)
+	return c
 }
 
 // ObserveLatency attaches a latency collector so confirmed violations
@@ -128,7 +132,7 @@ func (c *Checker) ObserveLatency(col *latency.Collector) { c.lat = col }
 
 // Start begins periodic checking.
 func (c *Checker) Start() {
-	c.eng.After(c.cfg.S, c.periodic)
+	c.tm.ResetAfter(c.cfg.S)
 }
 
 // Stop halts future checks.
@@ -158,7 +162,7 @@ func (c *Checker) periodic() {
 			c.beginMonitoring(idle, busy)
 		}
 	}
-	c.eng.After(c.cfg.S, c.periodic)
+	c.tm.ResetAfter(c.cfg.S)
 }
 
 // findViolation implements Algorithm 2: an idle CPU1 plus a CPU2 with

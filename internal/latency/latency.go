@@ -194,10 +194,17 @@ type Collector struct {
 	st       Streaks
 }
 
-// NewCollector returns a Collector with the given tuning.
+// NewCollector returns a Collector with the given tuning. The sample
+// buffers are pre-sized: every context switch appends a wait span, so
+// growing from nil would dominate the collector's cost early in a run.
 func NewCollector(cfg Config) *Collector {
 	cfg = cfg.withDefaults()
-	return &Collector{cfg: cfg, st: Streaks{K: cfg.StreakK}}
+	return &Collector{
+		cfg:  cfg,
+		st:   Streaks{K: cfg.StreakK},
+		wake: make([]int64, 0, 1024),
+		wait: make([]int64, 0, 4096),
+	}
 }
 
 // WaitEnd implements sched.LatencyProbe.

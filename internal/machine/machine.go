@@ -201,7 +201,7 @@ func (m *Machine) ThreadStarted(cpu topology.CoreID, st *sched.Thread) {
 	if t.spinning() {
 		t.spinStart = m.Eng.Now()
 	}
-	m.Eng.After(0, func() { m.vmResume(t, epoch) })
+	m.Eng.AfterCall(0, t.resumeCb, epoch)
 }
 
 // ThreadStopped pauses the thread's program, banking compute progress and
@@ -216,9 +216,8 @@ func (m *Machine) ThreadStopped(cpu topology.CoreID, st *sched.Thread, reason sc
 	if t.spinning() {
 		t.spinTime += now - t.spinStart
 	}
-	if t.computing && t.actionEv != nil {
-		m.Eng.Cancel(t.actionEv)
-		t.actionEv = nil
+	if t.computing && t.computeTm.Pending() {
+		t.computeTm.Stop()
 		elapsed := now - t.startedAt
 		t.remaining -= sim.Time(float64(elapsed) * t.rateAtStart)
 		if t.remaining < 0 {
@@ -252,10 +251,10 @@ func (m *Machine) procRunningChanged(p *Proc, delta int) {
 func (m *Machine) rebaseComputes(p *Proc, newRate float64) {
 	now := m.Eng.Now()
 	for _, t := range p.threads {
-		if !t.computing || t.actionEv == nil {
+		if !t.computing || !t.computeTm.Pending() {
 			continue
 		}
-		m.Eng.Cancel(t.actionEv)
+		t.computeTm.Stop()
 		elapsed := now - t.startedAt
 		t.remaining -= sim.Time(float64(elapsed) * t.rateAtStart)
 		if t.remaining < 0 {
@@ -265,15 +264,20 @@ func (m *Machine) rebaseComputes(p *Proc, newRate float64) {
 	}
 }
 
-// scheduleCompute (re)arms t's compute-completion event at the given rate.
+// scheduleCompute (re)arms t's compute-completion timer at the given rate.
+// The timer is persistent per thread (reschedule in place, no allocation);
+// at most one completion is ever pending, so the epoch stored at arm time
+// is the one the fire must validate.
 func (m *Machine) scheduleCompute(t *MThread, rate float64) {
 	now := m.Eng.Now()
 	t.startedAt = now
 	t.rateAtStart = rate
 	dur := sim.Time(float64(t.remaining) / rate)
-	epoch := t.epoch
-	t.actionEv = m.Eng.At(now+dur, func() {
-		t.actionEv = nil
-		m.computeDone(t, epoch)
-	})
+	t.computeEpoch = t.epoch
+	t.computeTm.Reset(now + dur)
+}
+
+// computeFire is t.computeTm's callback.
+func (m *Machine) computeFire(t *MThread) {
+	m.computeDone(t, t.computeEpoch)
 }

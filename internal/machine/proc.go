@@ -102,9 +102,17 @@ type MThread struct {
 	segmentTotal sim.Time // total nominal duration of the current segment
 	startedAt    sim.Time // when the current on-CPU compute segment began
 	rateAtStart  float64
-	actionEv     *sim.Event
+	computeTm    *sim.Timer // compute-completion timer, re-armed in place
+	computeEpoch uint64     // epoch captured when computeTm was armed
 	poppedFrom   *WorkQueue // the queue whose task is being computed
 	poppedTask   Task       // the task being computed
+
+	// Pre-bound engine callbacks (closure-free scheduling: the varying
+	// epoch rides in the event's argument, so the VM's hottest events —
+	// resume, deferred step, sleep expiry — allocate nothing).
+	resumeCb func(uint64)
+	deferCb  func(uint64)
+	sleepCb  func(uint64)
 
 	// Spin state: set while the thread is logically spinning. The
 	// scheduler still sees it as runnable/running.
@@ -189,6 +197,11 @@ func (p *Proc) newThread(prog Program, opts SpawnOpts) *MThread {
 		prog:  prog,
 		loops: map[int]int{},
 	}
+	m := p.m
+	mt.computeTm = m.Eng.NewTimer(func() { m.computeFire(mt) })
+	mt.resumeCb = func(epoch uint64) { m.vmResume(mt, epoch) }
+	mt.deferCb = func(epoch uint64) { m.deferFire(mt, epoch) }
+	mt.sleepCb = func(uint64) { m.Sched.Wake(mt.T, nil) }
 	p.m.threads[st.ID()] = mt
 	p.threads = append(p.threads, mt)
 	p.alive++

@@ -92,9 +92,8 @@ func (m *Machine) step(t *MThread) {
 
 		case OpSleep:
 			t.pc++
-			st := t.T
-			m.Sched.BlockCurrent(st, sched.StateSleeping)
-			m.Eng.After(ins.Dur, func() { m.Sched.Wake(st, nil) })
+			m.Sched.BlockCurrent(t.T, sched.StateSleeping)
+			m.Eng.AfterCall(ins.Dur, t.sleepCb, 0)
 			return
 
 		case OpLock:
@@ -367,26 +366,28 @@ func (m *Machine) releaseBarrier(b *SpinBarrier, self *MThread) {
 }
 
 // deferStep schedules a VM step for a thread that was advanced by another
-// thread's action (lock grant, barrier release) while on-CPU. The closure
-// re-validates everything at fire time: another path (vmResume after a
-// same-instant context switch) may already have progressed the thread, in
-// which case stepping again would double-execute an instruction.
+// thread's action (lock grant, barrier release) while on-CPU. The fire
+// re-validates everything: another path (vmResume after a same-instant
+// context switch) may already have progressed the thread, in which case
+// stepping again would double-execute an instruction.
 func (m *Machine) deferStep(t *MThread) {
 	if t.stepPending {
 		return
 	}
 	t.stepPending = true
-	epoch := t.epoch
-	m.Eng.After(0, func() {
-		t.stepPending = false
-		if t.epoch != epoch || t.done || t.T.State() != sched.StateRunning {
-			return
-		}
-		if t.computing || t.spinning() || t.blockedOnBarrier != nil {
-			return // already progressed through another path
-		}
-		m.step(t)
-	})
+	m.Eng.AfterCall(0, t.deferCb, t.epoch)
+}
+
+// deferFire is the deferred-step body (t.deferCb's target).
+func (m *Machine) deferFire(t *MThread, epoch uint64) {
+	t.stepPending = false
+	if t.epoch != epoch || t.done || t.T.State() != sched.StateRunning {
+		return
+	}
+	if t.computing || t.spinning() || t.blockedOnBarrier != nil {
+		return // already progressed through another path
+	}
+	m.step(t)
 }
 
 // pushTasks appends count copies of task and wakes blocked poppers, one

@@ -1,0 +1,114 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCampaign/workers=1  	       3	 321463963 ns/op	    581167 events/s	        93.32 scenarios/s	122343346 B/op	 1825462 allocs/op
+BenchmarkEngineSteadyState 	  217190	     11230 ns/op	    4800 B/op	     100 allocs/op
+PASS
+ok  	repro	2.678s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.CPU == "" {
+		t.Fatalf("header not parsed: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	c := rep.Benchmarks[0] // name-sorted: Campaign first
+	if c.Name != "BenchmarkCampaign/workers=1" || c.Iterations != 3 {
+		t.Fatalf("campaign bench = %+v", c)
+	}
+	if c.AllocsPerOp != 1825462 || c.BytesPerOp != 122343346 {
+		t.Fatalf("benchmem fields = %+v", c)
+	}
+	if c.Metrics["events/s"] != 581167 || c.Metrics["scenarios/s"] != 93.32 {
+		t.Fatalf("custom metrics = %+v", c.Metrics)
+	}
+	if len(rep.Raw) != 2 {
+		t.Fatalf("raw lines = %d, want 2", len(rep.Raw))
+	}
+}
+
+func TestSetReferenceDeltas(t *testing.T) {
+	before, _ := Parse(strings.NewReader(sample))
+	afterText := strings.NewReplacer(
+		"321463963", "160000000",
+		"581167", "1162334",
+		"1825462", "110186",
+		"     100 allocs/op", "       0 allocs/op",
+		"    4800 B/op", "       0 B/op",
+	).Replace(sample)
+	after, err := Parse(strings.NewReader(afterText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after.SetReference(before)
+	if len(after.Deltas) != 2 {
+		t.Fatalf("deltas = %+v", after.Deltas)
+	}
+	d := after.Deltas[0]
+	if d.Name != "BenchmarkCampaign/workers=1" {
+		t.Fatalf("delta order: %+v", after.Deltas)
+	}
+	if r := d.Metrics["events/s"]; r < 1.99 || r > 2.01 {
+		t.Fatalf("events/s ratio = %v, want ~2.0", r)
+	}
+	if d.AllocRatio > 0.07 {
+		t.Fatalf("alloc ratio = %v, want < 0.07 (>14x cut)", d.AllocRatio)
+	}
+}
+
+func TestCompareAllocs(t *testing.T) {
+	base, _ := Parse(strings.NewReader(
+		"BenchmarkA 1 10 ns/op 0 B/op 0 allocs/op\nBenchmarkB 1 10 ns/op 800 B/op 100 allocs/op\n"))
+	// The current run carries a -4 GOMAXPROCS suffix (multi-core CI
+	// runner); the pin still matches because Parse strips it.
+	cur, _ := Parse(strings.NewReader(
+		"BenchmarkA-4 1 10 ns/op 8 B/op 1 allocs/op\nBenchmarkB-4 1 10 ns/op 880 B/op 109 allocs/op\nBenchmarkNew-4 1 10 ns/op 99 B/op 99 allocs/op\n"))
+	regs, matched := CompareAllocs(base, cur, 10)
+	// A: 0 -> 1 regresses (zero baselines tolerate nothing); B: +9% is
+	// inside the 10% tolerance; New: not pinned, ignored.
+	if matched != 2 {
+		t.Fatalf("matched = %d, want 2 (the -N suffix must not break pin matching)", matched)
+	}
+	if len(regs) != 1 || regs[0].Name != "BenchmarkA" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+	regs, _ = CompareAllocs(base, cur, 5)
+	if len(regs) != 2 {
+		t.Fatalf("at 5%% tolerance want A and B, got %+v", regs)
+	}
+	// Disjoint reports compare nothing — the caller must treat that as
+	// a broken gate.
+	other, _ := Parse(strings.NewReader("BenchmarkZ 1 10 ns/op 1 B/op 1 allocs/op\n"))
+	if _, matched := CompareAllocs(base, other, 10); matched != 0 {
+		t.Fatalf("disjoint reports matched %d", matched)
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkEngineSteadyState-4":   "BenchmarkEngineSteadyState",
+		"BenchmarkCampaign/workers=1-16": "BenchmarkCampaign/workers=1",
+		"BenchmarkCampaign/workers=1":    "BenchmarkCampaign/workers=1",
+		"BenchmarkFoo-bar":               "BenchmarkFoo-bar",
+		"BenchmarkTrailingDash-":         "BenchmarkTrailingDash-",
+	}
+	for in, want := range cases {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

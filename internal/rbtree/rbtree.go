@@ -22,11 +22,16 @@ type node[T any] struct {
 
 // Tree is an ordered collection with O(log n) insert/delete and O(1) access
 // to the minimum element (cached, as the kernel caches rb_leftmost).
+//
+// Deleted nodes are recycled through a per-tree free list: runqueues
+// churn (every context switch is a delete plus a later insert), and the
+// pool makes that churn allocation-free in steady state.
 type Tree[T any] struct {
 	root     *node[T]
 	leftmost *node[T]
 	size     int
 	less     func(a, b T) bool
+	free     *node[T] // recycled nodes, chained through right
 }
 
 // New returns an empty tree ordered by less. Items comparing equal under
@@ -57,7 +62,15 @@ func (h Handle[T]) Item() T { return h.n.item }
 
 // Insert adds item and returns its handle.
 func (t *Tree[T]) Insert(item T) Handle[T] {
-	n := &node[T]{item: item, color: red}
+	n := t.free
+	if n != nil {
+		t.free = n.right
+		n.right = nil
+		n.item = item
+		n.color = red
+	} else {
+		n = &node[T]{item: item, color: red}
+	}
 	// Standard BST insert.
 	var parent *node[T]
 	cur := t.root
@@ -101,6 +114,12 @@ func (t *Tree[T]) Delete(h Handle[T]) {
 	}
 	t.size--
 	t.deleteNode(n)
+	// Recycle: deleteNode detached n and nil'd its links. Zero the item
+	// (it may hold pointers) and chain the node onto the free list.
+	var zero T
+	n.item = zero
+	n.right = t.free
+	t.free = n
 }
 
 // Each visits items in ascending order. The tree must not be modified

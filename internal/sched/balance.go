@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"math/bits"
+
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -38,38 +40,56 @@ func (s *Scheduler) metric(g *groupStats) float64 {
 	return g.avgLoad
 }
 
-// computeGroupStats gathers statistics for one scheduling group.
-func (s *Scheduler) computeGroupStats(set CPUSet) *groupStats {
-	g := &groupStats{set: set, minLoad: -1}
+// computeGroupStats gathers statistics for one scheduling group into a
+// caller-provided struct (hot path: the balance pass reuses scratch
+// storage, iterates the set's bits without a per-core closure call,
+// reads each core's runqueue once, and takes the memoized load directly
+// when the cache is current).
+func (s *Scheduler) computeGroupStats(g *groupStats, set CPUSet) {
+	*g = groupStats{set: set, minLoad: -1}
 	now := s.eng.Now()
-	_ = now
-	set.ForEach(func(id topology.CoreID) {
-		c := s.cpus[id]
-		if !c.online {
-			return
+	gen := s.loadGen
+	for w := 0; w < 2; w++ {
+		b := set.bits[w]
+		for b != 0 {
+			id := topology.CoreID(w*64 + bits.TrailingZeros64(b))
+			b &= b - 1
+			c := s.cpus[id]
+			if !c.online {
+				continue
+			}
+			g.weight++
+			var load float64
+			if c.loadAt == now && c.loadGenAt == gen {
+				load = c.loadVal
+			} else {
+				load = s.CPULoad(id)
+			}
+			g.sumLoad += load
+			if g.minLoad < 0 || load < g.minLoad {
+				g.minLoad = load
+			}
+			q := c.rq.queued()
+			running := q
+			if c.curr != nil {
+				running++
+			}
+			g.nrRunning += running
+			g.nrQueued += q
+			if running == 0 {
+				g.hasIdle = true // online with nothing queued or running
+			}
+			if c.pinnedFailure {
+				g.imbalanced = true
+			}
 		}
-		g.weight++
-		load := s.CPULoad(id)
-		g.sumLoad += load
-		if g.minLoad < 0 || load < g.minLoad {
-			g.minLoad = load
-		}
-		g.nrRunning += c.nrRunning()
-		g.nrQueued += c.rq.queued()
-		if c.idle() {
-			g.hasIdle = true
-		}
-		if c.pinnedFailure {
-			g.imbalanced = true
-		}
-	})
+	}
 	if g.weight > 0 {
 		g.avgLoad = g.sumLoad / float64(g.weight)
 	}
 	if g.minLoad < 0 {
 		g.minLoad = 0
 	}
-	return g
 }
 
 // designatedCPU returns the core responsible for balancing domain d on
@@ -81,12 +101,10 @@ func (s *Scheduler) computeGroupStats(set CPUSet) *groupStats {
 // implement — otherwise domains seen only by remote cores would never be
 // balanced.
 func (s *Scheduler) designatedCPU(c *CPU, d *Domain) topology.CoreID {
-	gi := d.localGroup(c.id)
-	if gi < 0 {
+	if d.local < 0 {
 		return -1
 	}
-	g := d.Groups[gi]
-	mask := s.groupBalanceMask(g, d.Name)
+	mask := d.localMask // precomputed group_balance_mask of d's local group
 	first := topology.CoreID(-1)
 	mask.ForEach(func(id topology.CoreID) {
 		if first >= 0 {
@@ -119,8 +137,7 @@ func (s *Scheduler) groupBalanceMask(g CPUSet, levelName string) CPUSet {
 		if od == nil {
 			return
 		}
-		ogi := od.localGroup(id)
-		if ogi >= 0 && od.Groups[ogi].Equal(g) {
+		if ogi := od.local; ogi >= 0 && od.Groups[ogi].Equal(g) {
 			mask.Set(id)
 		}
 	})
@@ -247,11 +264,22 @@ func (s *Scheduler) loadBalance(c *CPU, d *Domain, level int, op trace.Op) int {
 	s.counters.BalanceCalls++
 	s.traceConsidered(c.id, op, d.Span)
 
+	// Fill the reused scratch buffers. Capacity is ensured up front so
+	// the value buffer never reallocates underneath the pointers taken
+	// into it.
+	if cap(s.gsScratch) < len(d.Groups) {
+		s.gsScratch = make([]groupStats, 0, len(d.Groups)*2)
+		s.gsGroups = make([]*groupStats, 0, len(d.Groups)*2)
+	}
+	buf := s.gsScratch[:0]
+	groups := s.gsGroups[:0]
 	var local *groupStats
-	groups := make([]*groupStats, 0, len(d.Groups))
 	for _, gset := range d.Groups {
-		g := s.computeGroupStats(gset)
+		buf = append(buf, groupStats{})
+		g := &buf[len(buf)-1]
+		s.computeGroupStats(g, gset)
 		if g.weight == 0 {
+			buf = buf[:len(buf)-1]
 			continue
 		}
 		groups = append(groups, g)
@@ -406,7 +434,14 @@ func (s *Scheduler) moveTasks(src, dst *CPU, amount float64, level int) (int, bo
 	if dst.idle() {
 		minTasks = 1
 	}
-	for _, t := range src.rq.threads() {
+	// Snapshot the source queue into the reused scratch buffer (the
+	// migrations below mutate the tree while we iterate).
+	s.stealScratch = s.stealScratch[:0]
+	src.rq.each(func(t *Thread) bool {
+		s.stealScratch = append(s.stealScratch, t)
+		return true
+	})
+	for _, t := range s.stealScratch {
 		if moved >= s.cfg.MaxMigrate {
 			break
 		}

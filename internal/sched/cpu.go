@@ -19,12 +19,18 @@ type CPU struct {
 	// accounting
 	accruedUpTo sim.Time // curr's exec time folded in up to here
 
-	// idle state
+	// idle state: links of the scheduler's idle list (idleSince
+	// ascending), -1 when not linked.
 	idleSince sim.Time
+	idlePrev  topology.CoreID
+	idleNext  topology.CoreID
+	inIdle    bool
 	tickless  bool // NOHZ: idle and not ticking
 
-	// ticking
-	tickEv *sim.Event
+	// ticking and rescheduling: persistent per-core timers, re-armed in
+	// place (no allocation per cycle).
+	tickTm    *sim.Timer
+	reschedTm *sim.Timer
 
 	// domains and balancing
 	domains        []*Domain
@@ -32,6 +38,17 @@ type CPU struct {
 	balanceFailed  []int // consecutive failed balances per level
 	pinnedFailure  bool  // last steal attempt from this rq failed due to tasksets
 	reschedPending bool
+
+	// Occupancy contributions folded into the scheduler's running sums
+	// (see occSync).
+	occIdle   bool
+	occQueued int
+
+	// CPULoad memoization: valid while (loadAt, loadGenAt) matches the
+	// current instant and load generation.
+	loadAt    sim.Time
+	loadGenAt uint64
+	loadVal   float64
 }
 
 // ID returns the core id.
@@ -103,15 +120,19 @@ func (s *Scheduler) resched(c *CPU) {
 		return
 	}
 	c.reschedPending = true
-	s.eng.After(0, func() {
-		c.reschedPending = false
-		if !c.online {
-			return
-		}
-		if c.curr != nil || c.rq.queued() > 0 {
-			s.schedule(c)
-		}
-	})
+	c.reschedTm.ResetAfter(0)
+}
+
+// reschedFire is the deferred context-switch body (c.reschedTm's
+// callback).
+func (s *Scheduler) reschedFire(c *CPU) {
+	c.reschedPending = false
+	if !c.online {
+		return
+	}
+	if c.curr != nil || c.rq.queued() > 0 {
+		s.schedule(c)
+	}
 }
 
 // schedule is the context switch: put the previous thread back on the
@@ -129,6 +150,7 @@ func (s *Scheduler) schedule(c *CPU) {
 		c.curr = nil
 		s.markWaiting(prev, false)
 		c.rq.enqueue(prev)
+		s.occSync(c)
 		s.adjustOccupancy()
 	}
 	next := c.rq.leftmost()
@@ -152,6 +174,7 @@ func (s *Scheduler) schedule(c *CPU) {
 		c.curr = prev
 		c.accruedUpTo = now
 		prev.execStart = now
+		s.occSync(c)
 		s.adjustOccupancy()
 		return
 	}
@@ -161,6 +184,7 @@ func (s *Scheduler) schedule(c *CPU) {
 		s.hooks.ThreadStopped(c.id, prev, StopPreempted)
 	}
 	c.rq.dequeue(next)
+	s.occSync(c)
 	s.adjustOccupancy()
 	s.startThread(c, next)
 }
@@ -180,6 +204,7 @@ func (s *Scheduler) startThread(c *CPU, t *Thread) {
 	t.execStart = now
 	t.la.setRunnable(now, true)
 	s.counters.Switches++
+	s.occSync(c)
 	s.adjustOccupancy()
 	if s.nohzBalancer == c.id {
 		s.nohzBalancer = -1 // the balancer found work; role lapses
@@ -196,26 +221,64 @@ func (s *Scheduler) goIdle(c *CPU) {
 	now := s.eng.Now()
 	c.curr = nil
 	c.idleSince = now
-	s.idleCPUs = append(s.idleCPUs, c.id)
+	s.idleAppend(c)
+	s.occSync(c)
 	s.adjustOccupancy()
 	if s.cfg.NOHZ && s.nohzBalancer != c.id {
 		c.tickless = true
-		if c.tickEv != nil {
-			s.eng.Cancel(c.tickEv)
-			c.tickEv = nil
-		}
+		c.tickTm.Stop()
 	}
 }
 
 // leaveIdle removes c from the idle list.
 func (s *Scheduler) leaveIdle(c *CPU) {
 	c.tickless = false
-	for i, id := range s.idleCPUs {
-		if id == c.id {
-			s.idleCPUs = append(s.idleCPUs[:i], s.idleCPUs[i+1:]...)
-			break
-		}
+	s.idleRemove(c)
+}
+
+// idleAppend links c at the tail of the idle list (it just became idle,
+// so it has been idle the shortest). O(1); a no-op when already linked.
+func (s *Scheduler) idleAppend(c *CPU) {
+	if c.inIdle {
+		return
 	}
+	c.inIdle = true
+	c.idlePrev, c.idleNext = s.idleTail, -1
+	if s.idleTail >= 0 {
+		s.cpus[s.idleTail].idleNext = c.id
+	} else {
+		s.idleHead = c.id
+	}
+	s.idleTail = c.id
+}
+
+// idleRemove unlinks c from the idle list. O(1); a no-op when not linked.
+func (s *Scheduler) idleRemove(c *CPU) {
+	if !c.inIdle {
+		return
+	}
+	c.inIdle = false
+	if c.idlePrev >= 0 {
+		s.cpus[c.idlePrev].idleNext = c.idleNext
+	} else {
+		s.idleHead = c.idleNext
+	}
+	if c.idleNext >= 0 {
+		s.cpus[c.idleNext].idlePrev = c.idlePrev
+	} else {
+		s.idleTail = c.idlePrev
+	}
+	c.idlePrev, c.idleNext = -1, -1
+}
+
+// idleOrder snapshots the idle list head-to-tail (longest idle first) —
+// for tests and debugging; hot paths walk the links directly.
+func (s *Scheduler) idleOrder() []topology.CoreID {
+	var out []topology.CoreID
+	for id := s.idleHead; id >= 0; id = s.cpus[id].idleNext {
+		out = append(out, id)
+	}
+	return out
 }
 
 // nextTickAt returns the next tick boundary for c on its staggered grid
@@ -232,16 +295,13 @@ func (s *Scheduler) nextTickAt(c *CPU) sim.Time {
 	return phase + n*period
 }
 
-// armTick ensures a tick event is pending for c.
+// armTick ensures a tick event is pending for c, re-arming the core's
+// persistent tick timer in place.
 func (s *Scheduler) armTick(c *CPU) {
-	if c.tickEv != nil || !c.online {
+	if c.tickTm.Pending() || !c.online {
 		return
 	}
-	at := s.nextTickAt(c)
-	c.tickEv = s.eng.At(at, func() {
-		c.tickEv = nil
-		s.tick(c)
-	})
+	c.tickTm.Reset(s.nextTickAt(c))
 }
 
 // tick is the periodic clock interrupt: account the running thread, check
@@ -255,6 +315,7 @@ func (s *Scheduler) tick(c *CPU) {
 	if c.curr != nil {
 		s.updateCurr(c)
 		c.curr.la.advance(now)
+		c.loadAt = -1 // the advance may change curr's decayed load
 		s.checkPreemptTick(c)
 	}
 	s.periodicBalance(c)
@@ -343,6 +404,7 @@ func (s *Scheduler) enqueueThread(c *CPU, t *Thread, flag enqueueFlag) {
 	t.la.setRunnable(now, true)
 	c.rq.enqueue(t)
 	c.rq.updateMinVruntime(c.curr)
+	s.occSync(c)
 	s.adjustOccupancy()
 	s.traceNr(c)
 	s.traceLoad(c)

@@ -132,7 +132,7 @@ func TestTicklessIdleCoresDoNotTick(t *testing.T) {
 	// cpus 1-3 idle; at most one (a kicked balancer) may be ticking.
 	ticking := 0
 	for _, c := range e.s.cpus[1:] {
-		if c.tickEv != nil {
+		if c.tickTm.Pending() {
 			ticking++
 		}
 	}
@@ -154,11 +154,11 @@ func TestIdleListOrdering(t *testing.T) {
 	e.run(5 * sim.Millisecond)
 	// Order: 0 and 3 idle since boot, then 1, then 2.
 	idx := map[topology.CoreID]int{}
-	for i, id := range e.s.idleCPUs {
+	for i, id := range e.s.idleOrder() {
 		idx[id] = i
 	}
 	if !(idx[0] < idx[1] && idx[1] < idx[2]) {
-		t.Fatalf("idle list out of order: %v", e.s.idleCPUs)
+		t.Fatalf("idle list out of order: %v", e.s.idleOrder())
 	}
 }
 

@@ -30,6 +30,16 @@ type Domain struct {
 	Span     CPUSet   // online cores covered by this domain
 	Groups   []CPUSet // scheduling groups, each a subset of Span
 	Interval sim.Time // periodic balance cadence for this level
+
+	// local is the index in Groups of the owning core's group (-1 when
+	// absent), precomputed at construction so balance passes don't
+	// re-scan the group list. Each core holds its own Domain values, so
+	// the owner is unambiguous.
+	local int
+	// localMask is the precomputed group_balance_mask of the local group
+	// (see groupBalanceMask): the designated-core check runs on every
+	// due balance level, and the mask only depends on the hierarchy.
+	localMask CPUSet
 }
 
 // localGroup returns the index of the group containing cpu, or -1.
@@ -56,25 +66,75 @@ func (d *Domain) String() string {
 	return b.String()
 }
 
+// domainKey identifies a domain-hierarchy equivalence class: the same
+// online set under the same NUMA-inclusion rule always yields the same
+// per-core hierarchies (topology and the construction-perspective fix are
+// fixed for a scheduler's lifetime).
+type domainKey struct {
+	online      CPUSet
+	includeNUMA bool
+}
+
 // rebuildDomains regenerates every core's domain hierarchy. It implements
 // the Missing Scheduling Domains bug: when afterHotplug is set and the fix
 // is disabled, only the intra-node levels are regenerated — the paper's
 // "the call to the function generating domains across NUMA nodes was
 // dropped by Linux developers during code refactoring".
+//
+// Hierarchies are cached per (online-set, includeNUMA): hotplug storms
+// revisit the same few online sets over and over, and a cache hit swaps
+// pointers instead of reconstructing per-core domain lists. The per-level
+// balance bookkeeping is still reset on every rebuild (reusing the backing
+// arrays), exactly as an uncached rebuild would.
 func (s *Scheduler) rebuildDomains() {
 	includeNUMA := !s.domainsBroken || s.cfg.Features.FixMissingDomains
+	key := domainKey{online: s.online, includeNUMA: includeNUMA}
+	hier, hit := s.domainCache[key]
+	if !hit {
+		hier = make([][]*Domain, len(s.cpus))
+		for _, c := range s.cpus {
+			if c.online {
+				hier[c.id] = s.buildDomainsFor(c.id, includeNUMA)
+			}
+		}
+	}
+	now := s.eng.Now()
 	for _, c := range s.cpus {
 		if !c.online {
 			c.domains = nil
+			c.nextBalance = c.nextBalance[:0]
+			c.balanceFailed = c.balanceFailed[:0]
 			continue
 		}
-		c.domains = s.buildDomainsFor(c.id, includeNUMA)
-		c.nextBalance = make([]sim.Time, len(c.domains))
-		c.balanceFailed = make([]int, len(c.domains))
-		now := s.eng.Now()
+		c.domains = hier[c.id]
+		n := len(c.domains)
+		if cap(c.nextBalance) < n {
+			c.nextBalance = make([]sim.Time, n)
+			c.balanceFailed = make([]int, n)
+		}
+		c.nextBalance = c.nextBalance[:n]
+		c.balanceFailed = c.balanceFailed[:n]
 		for i, d := range c.domains {
 			c.nextBalance[i] = now + d.Interval
+			c.balanceFailed[i] = 0
 		}
+	}
+	if !hit {
+		// The balance masks need every core's hierarchy in place (they
+		// compare the per-core views of a group), so they are filled in a
+		// second pass and then cached with the entry.
+		for _, c := range s.cpus {
+			for _, d := range c.domains {
+				d.localMask = CPUSet{}
+				if d.local >= 0 {
+					d.localMask = s.groupBalanceMask(d.Groups[d.local], d.Name)
+				}
+			}
+		}
+		if s.domainCache == nil {
+			s.domainCache = map[domainKey][][]*Domain{}
+		}
+		s.domainCache[key] = hier
 	}
 	s.counters.DomainRebuilds++
 }
@@ -128,6 +188,9 @@ func (s *Scheduler) buildDomainsFor(cpu topology.CoreID, includeNUMA bool) []*Do
 	}
 
 	if !includeNUMA || topo.NumNodes() == 1 {
+		for _, d := range domains {
+			d.local = d.localGroup(cpu)
+		}
 		return domains
 	}
 
@@ -157,6 +220,9 @@ func (s *Scheduler) buildDomainsFor(cpu topology.CoreID, includeNUMA bool) []*Do
 		domains = append(domains, d)
 		level++
 		interval *= 2
+	}
+	for _, d := range domains {
+		d.local = d.localGroup(cpu)
 	}
 	return domains
 }

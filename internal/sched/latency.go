@@ -72,7 +72,7 @@ func (s *Scheduler) observeWakeupPlaced(t *Thread, cpu topology.CoreID, busy boo
 		return
 	}
 	idleAllowed := false
-	for _, id := range s.idleCPUs {
+	for id := s.idleHead; id >= 0; id = s.cpus[id].idleNext {
 		if t.affinity.Has(id) && s.cpus[id].online && s.cpus[id].idle() {
 			idleAllowed = true
 			break

@@ -70,8 +70,14 @@ type Scheduler struct {
 	policy   PlacementPolicy
 	latProbe LatencyProbe
 
-	idleCPUs     []topology.CoreID // ordered by idleSince ascending
-	nohzBalancer topology.CoreID   // -1 when unassigned
+	// Idle cores form an intrusive doubly-linked list through the CPU
+	// structs, ordered by idleSince ascending (head = longest idle, the
+	// list §3.3's fix reads). Linking keeps membership O(1) where the
+	// old slice paid a linear scan plus shift per transition.
+	idleHead, idleTail topology.CoreID // -1 when empty
+	nohzBalancer       topology.CoreID // -1 when unassigned
+
+	online CPUSet // cached set of online cores, maintained by hotplug
 
 	threads       []*Thread
 	groups        []*TaskGroup
@@ -83,13 +89,45 @@ type Scheduler struct {
 
 	counters Counters
 
+	// Domain hierarchies are cached per (online-set, includeNUMA)
+	// equivalence class: hotplug storms cycle through a handful of
+	// online sets, and with the cache each revisit is a pointer swap
+	// instead of per-core reconstruction.
+	domainCache map[domainKey][][]*Domain
+
+	// Balance-pass scratch buffers, reused across calls so the periodic
+	// tick path allocates nothing in steady state. The scheduler is
+	// single-threaded (one engine), and loadBalance never nests, so one
+	// set of buffers suffices.
+	gsScratch    []groupStats
+	gsGroups     []*groupStats
+	stealScratch []*Thread
+
 	// Work-conservation accounting: integral over time of
 	// min(#idle cores, #queued threads), i.e. core-time that the paper's
-	// invariant says should have been used.
+	// invariant says should have been used. curIdle/curQueued are the
+	// always-true running sums, maintained O(1) by occSync at every
+	// state transition; idleCount/queuedTotal are the values last
+	// *committed* by adjustOccupancy, which is what the integral uses —
+	// preserving the original recompute-at-commit semantics exactly.
 	wastedCoreTime sim.Time
 	wastedStamp    sim.Time
 	idleCount      int
 	queuedTotal    int
+	curIdle        int
+	curQueued      int
+
+	// loadGen is the cross-CPU invalidation generation for the per-CPU
+	// load caches. It covers ONLY the autogroup divisor (NewThread /
+	// ExitCurrent change every group member's load at once); all other
+	// load inputs — runqueue membership, the current thread, decayed
+	// load averages — change one core at a time and are invalidated
+	// per-CPU (occSync / tick set that core's loadAt = -1). Any new
+	// input that can change many cores' loads in one step must bump
+	// loadGen too. A CPULoad cache hit requires the same virtual time
+	// AND generation, so a hit returns exactly what a recompute would
+	// (the per-thread load decay is idempotent within an instant).
+	loadGen uint64
 }
 
 // New creates a Scheduler for the given machine. All cores start online
@@ -101,14 +139,28 @@ func New(eng *sim.Engine, topo *topology.Topology, cfg Config) *Scheduler {
 		cfg:          cfg,
 		hooks:        nopHooks{},
 		nohzBalancer: -1,
+		idleHead:     -1,
+		idleTail:     -1,
 	}
 	s.rootGroup = s.NewGroup("root")
 	for i := 0; i < topo.NumCores(); i++ {
-		s.cpus = append(s.cpus, &CPU{
-			id:     topology.CoreID(i),
-			rq:     newCFSRQ(),
-			online: true,
-		})
+		c := &CPU{
+			id:       topology.CoreID(i),
+			rq:       newCFSRQ(),
+			online:   true,
+			idlePrev: -1,
+			idleNext: -1,
+			loadAt:   -1,
+		}
+		// Per-core timers, bound once: the tick and resched events of a
+		// core's whole lifetime reuse these two heap entries instead of
+		// allocating an event plus closure per cycle.
+		c.tickTm = eng.NewTimer(func() { s.tick(c) })
+		c.reschedTm = eng.NewTimer(func() { s.reschedFire(c) })
+		s.online.Set(c.id)
+		c.occIdle = true // online, no current thread, empty queue
+		s.curIdle++
+		s.cpus = append(s.cpus, c)
 	}
 	return s
 }
@@ -149,7 +201,7 @@ func (s *Scheduler) Start() {
 	s.wastedStamp = now
 	for _, c := range s.cpus {
 		c.idleSince = now
-		s.idleCPUs = append(s.idleCPUs, c.id)
+		s.idleAppend(c)
 		if s.cfg.NOHZ {
 			c.tickless = true
 		} else {
@@ -213,6 +265,7 @@ func (s *Scheduler) NewThread(name string, opts ThreadOpts) *Thread {
 	s.nextTID++
 	s.threads = append(s.threads, t)
 	g.threads++
+	s.loadGen++ // the autogroup divisor changed for g's queued threads
 	return t
 }
 
@@ -273,6 +326,7 @@ func (s *Scheduler) BlockCurrent(t *Thread, st ThreadState) {
 	t.lastRan = now
 	t.la.setRunnable(now, false)
 	c.curr = nil
+	s.occSync(c)
 	s.adjustOccupancy()
 	s.traceNr(c)
 	s.traceLoad(c)
@@ -292,7 +346,9 @@ func (s *Scheduler) ExitCurrent(t *Thread) {
 	t.exitedAt = now
 	t.la.setRunnable(now, false)
 	t.group.threads--
+	s.loadGen++ // the autogroup divisor changed for the group's threads
 	c.curr = nil
+	s.occSync(c)
 	s.adjustOccupancy()
 	s.traceNr(c)
 	s.traceLoad(c)
@@ -356,6 +412,7 @@ func (s *Scheduler) migrateThread(t *Thread, src, dst *CPU, op trace.Op) {
 	}
 	src.rq.dequeue(t)
 	src.rq.updateMinVruntime(src.curr)
+	s.occSync(src)
 	t.vruntime -= src.rq.minVruntime
 	t.vruntime += dst.rq.minVruntime
 	t.cpu = dst.id
@@ -365,6 +422,7 @@ func (s *Scheduler) migrateThread(t *Thread, src, dst *CPU, op trace.Op) {
 	s.traceLoad(src)
 	dst.rq.enqueue(t)
 	dst.rq.updateMinVruntime(dst.curr)
+	s.occSync(dst)
 	s.traceNr(dst)
 	s.traceLoad(dst)
 	s.traceMigration(t, src.id, dst.id, op)
@@ -373,16 +431,9 @@ func (s *Scheduler) migrateThread(t *Thread, src, dst *CPU, op trace.Op) {
 	}
 }
 
-// onlineSet returns the set of online cores.
-func (s *Scheduler) onlineSet() CPUSet {
-	var set CPUSet
-	for _, c := range s.cpus {
-		if c.online {
-			set.Set(c.id)
-		}
-	}
-	return set
-}
+// onlineSet returns the set of online cores (maintained incrementally by
+// the hotplug paths, so reading it is free).
+func (s *Scheduler) onlineSet() CPUSet { return s.online }
 
 // OnlineCPUs returns the ids of online cores.
 func (s *Scheduler) OnlineCPUs() []topology.CoreID { return s.onlineSet().Cores() }
@@ -406,15 +457,25 @@ func (s *Scheduler) QueuedThreads(cpu topology.CoreID) []*Thread {
 }
 
 // CPULoad returns the load of cpu's runqueue: the sum of the loads of its
-// queued and running threads (§2.2.1's per-core load).
+// queued and running threads (§2.2.1's per-core load). The sum is
+// memoized per (instant, load generation): overlapping scheduling groups
+// read the same cores many times per balance pass, and within one
+// unchanged instant a recompute is numerically identical (each thread's
+// decay was already folded up to now by the computing call).
 func (s *Scheduler) CPULoad(cpu topology.CoreID) float64 {
 	c := s.cpus[cpu]
 	now := s.eng.Now()
+	if c.loadAt == now && c.loadGenAt == s.loadGen {
+		return c.loadVal
+	}
 	load := 0.0
 	c.rq.each(func(t *Thread) bool { load += t.load(now); return true })
 	if c.curr != nil {
 		load += c.curr.load(now)
 	}
+	c.loadAt = now
+	c.loadGenAt = s.loadGen
+	c.loadVal = load
 	return load
 }
 
@@ -458,9 +519,36 @@ func (s *Scheduler) CanSteal(dst, src topology.CoreID) bool {
 	return ok
 }
 
-// adjustOccupancy recomputes the idle/queued totals and integrates wasted
-// core time: min(#idle cores, #queued threads) core-seconds accumulate
-// whenever the work-conserving invariant is violated.
+// occSync folds cpu c's current idle/queued contribution into the
+// running sums after a state transition, and invalidates c's load
+// cache (a transition on c never changes another core's load sum, so
+// invalidation is per-CPU; the global loadGen covers the autogroup
+// divisor, the only cross-CPU load input). O(1); called wherever c's
+// runqueue, current thread, or online flag changed.
+func (s *Scheduler) occSync(c *CPU) {
+	c.loadAt = -1
+	idle := c.idle()
+	if idle != c.occIdle {
+		if idle {
+			s.curIdle++
+		} else {
+			s.curIdle--
+		}
+		c.occIdle = idle
+	}
+	q := 0
+	if c.online {
+		q = c.rq.queued()
+	}
+	s.curQueued += q - c.occQueued
+	c.occQueued = q
+}
+
+// adjustOccupancy integrates wasted core time — min(#idle cores, #queued
+// threads) core-seconds accumulate whenever the work-conserving invariant
+// is violated — then commits the current totals for the next interval.
+// The sums themselves are maintained incrementally by occSync, so the
+// commit is O(1) where it used to rescan every core.
 func (s *Scheduler) adjustOccupancy() {
 	now := s.eng.Now()
 	if d := now - s.wastedStamp; d > 0 {
@@ -473,18 +561,8 @@ func (s *Scheduler) adjustOccupancy() {
 		}
 	}
 	s.wastedStamp = now
-	idle, queued := 0, 0
-	for _, c := range s.cpus {
-		if !c.online {
-			continue
-		}
-		if c.idle() {
-			idle++
-		}
-		queued += c.rq.queued()
-	}
-	s.idleCount = idle
-	s.queuedTotal = queued
+	s.idleCount = s.curIdle
+	s.queuedTotal = s.curQueued
 }
 
 // WastedCoreTime returns the accumulated idle-while-work-waiting core time
@@ -504,11 +582,9 @@ func (s *Scheduler) DisableCPU(cpu topology.CoreID) error {
 		return fmt.Errorf("sched: cpu %d already offline", cpu)
 	}
 	c.online = false
+	s.online.Clear(cpu)
 	s.leaveIdle(c)
-	if c.tickEv != nil {
-		s.eng.Cancel(c.tickEv)
-		c.tickEv = nil
-	}
+	c.tickTm.Stop()
 	if s.nohzBalancer == cpu {
 		s.nohzBalancer = -1
 	}
@@ -531,6 +607,7 @@ func (s *Scheduler) DisableCPU(cpu topology.CoreID) error {
 		s.migrateThread(t, c, s.cpus[dst], trace.OpNone)
 		s.counters.HotplugMigrations++
 	}
+	s.occSync(c)
 	s.adjustOccupancy()
 	s.domainsBroken = true
 	s.rebuildDomains()
@@ -545,15 +622,17 @@ func (s *Scheduler) EnableCPU(cpu topology.CoreID) error {
 		return fmt.Errorf("sched: cpu %d already online", cpu)
 	}
 	c.online = true
+	s.online.Set(cpu)
 	c.rq.minVruntime = 0
 	now := s.eng.Now()
 	c.idleSince = now
-	s.idleCPUs = append(s.idleCPUs, c.id)
+	s.idleAppend(c)
 	if s.cfg.NOHZ {
 		c.tickless = true
 	} else {
 		s.armTick(c)
 	}
+	s.occSync(c)
 	s.adjustOccupancy()
 	s.rebuildDomains()
 	return nil

@@ -81,7 +81,7 @@ func (s *Scheduler) fixedWakeupTarget(prev topology.CoreID, allowed CPUSet) (top
 	// The idle list is ordered by time entered; its head has been idle
 	// the longest ("the kernel already maintains a list of all idle cores
 	// in the system, so picking the first one takes constant time").
-	for _, id := range s.idleCPUs {
+	for id := s.idleHead; id >= 0; id = s.cpus[id].idleNext {
 		if allowed.Has(id) && s.cpus[id].idle() {
 			return id, true
 		}

@@ -58,8 +58,8 @@ func TestCancel(t *testing.T) {
 	fired := false
 	ev := e.At(10, func() { fired = true })
 	e.Cancel(ev)
-	e.Cancel(ev) // double-cancel is a no-op
-	e.Cancel(nil)
+	e.Cancel(ev)       // double-cancel is a no-op
+	e.Cancel(Handle{}) // the zero handle is inert
 	e.Run()
 	if fired {
 		t.Fatal("cancelled event fired")
@@ -69,7 +69,7 @@ func TestCancel(t *testing.T) {
 func TestCancelDuringRun(t *testing.T) {
 	e := New(1)
 	fired := false
-	var ev *Event
+	var ev Handle
 	e.At(5, func() { e.Cancel(ev) })
 	ev = e.At(10, func() { fired = true })
 	e.Run()
@@ -228,15 +228,60 @@ func BenchmarkEventScheduleFire(b *testing.B) {
 		}
 	}
 	e.At(0, fn)
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.Run()
 }
 
+// BenchmarkEventCancel schedules and immediately cancels without ever
+// draining — the pathological corner of lazy cancellation, kept pinned
+// on purpose: every cancelled event stays queued until the final Run, so
+// the heap grows to b.N zombies and each push pays the deepening sift.
+// Real workloads interleave pops (BenchmarkEventCancelHeavy) and stay
+// flat; this records the trade Cancel's O(1) makes.
 func BenchmarkEventCancel(b *testing.B) {
 	e := New(1)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ev := e.After(1000, func() {})
 		e.Cancel(ev)
 	}
 	e.Run()
+}
+
+// BenchmarkEngineSteadyState is the pinned engine microbenchmark: one op
+// schedules a burst of 100 one-shot events and drains them, the pattern
+// every simulated scenario reduces to. Batching 100 events per op makes
+// allocs/op integral: 100+ before event pooling, 0 once the free list
+// recycles them.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	e := New(1)
+	nop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 100; j++ {
+			e.After(Time(j%10), nop)
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkEventCancelHeavy models the serve:qps pattern: a deep queue of
+// timers most of which are cancelled before they fire. Before lazy
+// cancellation each Cancel paid an O(log n) heap removal; after it, Cancel
+// is O(1) and the dead entries are skipped at pop.
+func BenchmarkEventCancelHeavy(b *testing.B) {
+	e := New(1)
+	nop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Keep ~1024 live timers; cancel seven of every eight scheduled.
+		ev := e.After(Time(1024+i%1024), nop)
+		if i%8 != 0 {
+			e.Cancel(ev)
+		}
+		e.Step()
+	}
 }

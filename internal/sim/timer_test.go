@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestTimerResetInPlace: a self-rescheduling timer fires on schedule and
+// reuses its one event.
+func TestTimerResetInPlace(t *testing.T) {
+	e := New(1)
+	var fires []Time
+	var tm *Timer
+	tm = e.NewTimer(func() {
+		fires = append(fires, e.Now())
+		if len(fires) < 5 {
+			tm.ResetAfter(10)
+		}
+	})
+	tm.Reset(10)
+	e.Run()
+	want := []Time{10, 20, 30, 40, 50}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires = %v, want %v", fires, want)
+		}
+	}
+	if e.Processed() != 5 {
+		t.Fatalf("Processed = %d, want 5", e.Processed())
+	}
+}
+
+// TestTimerStopRevive: Stop cancels the pending fire; a later Reset
+// revives the same backing event in place.
+func TestTimerStopRevive(t *testing.T) {
+	e := New(1)
+	fired := 0
+	tm := e.NewTimer(func() { fired++ })
+	tm.Reset(10)
+	tm.Stop()
+	if tm.Pending() {
+		t.Fatal("stopped timer still pending")
+	}
+	e.RunUntil(20)
+	if fired != 0 {
+		t.Fatal("stopped timer fired")
+	}
+	// The dead event may still be queued (lazy cancel): Reset must revive
+	// it rather than duplicate it.
+	tm.Reset(30)
+	if !tm.Pending() || tm.When() != 30 {
+		t.Fatalf("revived timer: pending=%v when=%v", tm.Pending(), tm.When())
+	}
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+// TestTimerResetWhilePending moves the single pending fire; the event
+// fires once, at the new time, ordered by the reset call like a freshly
+// scheduled event.
+func TestTimerResetWhilePending(t *testing.T) {
+	e := New(1)
+	var order []string
+	tm := e.NewTimer(func() { order = append(order, "timer") })
+	tm.Reset(50)
+	e.At(10, func() {
+		tm.Reset(20) // earlier than before
+		e.At(20, func() { order = append(order, "fresh") })
+	})
+	e.Run()
+	// Same fire time: the timer was re-armed before the fresh event was
+	// scheduled, so it keeps FIFO order among same-time events.
+	if len(order) != 2 || order[0] != "timer" || order[1] != "fresh" {
+		t.Fatalf("order = %v", order)
+	}
+	if tm.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+}
+
+// TestStaleHandleCannotCancelRecycledEvent: after an event fires, its
+// pooled Event is recycled; the old handle's generation no longer
+// matches, so cancelling it must not touch the new tenant.
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	e := New(1)
+	var h1 Handle
+	fired1, fired2 := false, false
+	h1 = e.At(10, func() { fired1 = true })
+	e.RunUntil(15) // h1 fires; its event returns to the pool
+	h2 := e.At(20, func() { fired2 = true })
+	e.Cancel(h1) // stale: must not cancel h2's (recycled) event
+	e.Run()
+	if !fired1 || !fired2 {
+		t.Fatalf("fired1=%v fired2=%v, stale cancel leaked onto a recycled event", fired1, fired2)
+	}
+	_ = h2
+}
+
+// TestCancelledEventsAreRecycled: lazy cancellation keeps dead events
+// queued only until their due time; Pending drains back down, so a
+// cancel-heavy workload cannot grow the queue without bound.
+func TestCancelledEventsAreRecycled(t *testing.T) {
+	e := New(1)
+	nop := func() {}
+	const live = 64
+	maxPending := 0
+	for i := 0; i < 10_000; i++ {
+		h := e.After(live, nop)
+		if i%8 != 0 {
+			e.Cancel(h)
+		}
+		e.Step()
+		if p := e.Pending(); p > maxPending {
+			maxPending = p
+		}
+	}
+	// At most `live` virtual-ns of scheduled events can be outstanding;
+	// with one push and one step per iteration the queue stays near the
+	// live horizon instead of accumulating 8750 dead entries.
+	if maxPending > 4*live {
+		t.Fatalf("Pending reached %d; cancelled events are not being drained", maxPending)
+	}
+}
+
+// TestSteadyStateAllocs pins the tentpole's allocation budget: in steady
+// state the engine allocates at most one object per scheduled+fired
+// event, and with the pool warm it should allocate none.
+func TestSteadyStateAllocs(t *testing.T) {
+	e := New(1)
+	nop := func() {}
+	// Warm the pool.
+	for i := 0; i < 64; i++ {
+		e.After(Time(i), nop)
+	}
+	e.Run()
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			e.After(Time(i%8), nop)
+		}
+		e.Run()
+	})
+	perEvent := avg / 64
+	if perEvent > 1 {
+		t.Fatalf("steady-state allocs/event = %.3f, want <= 1", perEvent)
+	}
+}
+
+// TestTimerSteadyStateAllocs: the reschedule-in-place path allocates
+// nothing at all.
+func TestTimerSteadyStateAllocs(t *testing.T) {
+	e := New(1)
+	n := 0
+	var tm *Timer
+	tm = e.NewTimer(func() {
+		n++
+		if n%64 != 0 {
+			tm.ResetAfter(10)
+		}
+	})
+	tm.Reset(10)
+	e.Run()
+	avg := testing.AllocsPerRun(100, func() {
+		tm.ResetAfter(10)
+		e.Run()
+	})
+	if avg > 0 {
+		t.Fatalf("timer steady-state allocs/run = %.3f, want 0", avg)
+	}
+}

@@ -8,7 +8,6 @@ package topology
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -28,6 +27,8 @@ type Topology struct {
 	smtSibling   []CoreID   // core -> sibling, -1 when none
 	hops         [][]int    // node x node hop distances
 	maxHops      int
+	nodesWithin  [][][]NodeID // node x hop -> nodes within hop, ascending
+	coresWithin  [][][]CoreID // node x hop -> cores within hop, ascending
 	clockGHz     float64
 	memoryGB     int
 	interconnect string
@@ -119,6 +120,30 @@ func New(spec Spec) (*Topology, error) {
 		}
 		t.hops[src] = dist
 	}
+	// Precompute the within-h neighborhoods eagerly: scheduling-domain
+	// construction queries them per (core, hop) and a Topology may be
+	// shared across scenario goroutines, so the tables are filled here,
+	// once, and immutable afterwards.
+	t.nodesWithin = make([][][]NodeID, n)
+	t.coresWithin = make([][][]CoreID, n)
+	for src := 0; src < n; src++ {
+		t.nodesWithin[src] = make([][]NodeID, t.maxHops+1)
+		t.coresWithin[src] = make([][]CoreID, t.maxHops+1)
+		for h := 0; h <= t.maxHops; h++ {
+			var nodes []NodeID
+			var cores []CoreID
+			// Node ids ascend and each node's cores ascend contiguously,
+			// so appending in node order keeps cores sorted.
+			for i := 0; i < n; i++ {
+				if t.hops[src][i] <= h {
+					nodes = append(nodes, NodeID(i))
+					cores = append(cores, t.coresOf[i]...)
+				}
+			}
+			t.nodesWithin[src][h] = nodes
+			t.coresWithin[src][h] = cores
+		}
+	}
 	return t, nil
 }
 
@@ -157,26 +182,28 @@ func (t *Topology) Hops(a, b NodeID) int { return t.hops[a][b] }
 func (t *Topology) MaxHops() int { return t.maxHops }
 
 // NodesWithin returns the nodes at hop distance <= h from n, in ascending
-// node order (n itself included).
+// node order (n itself included). The returned slice is shared and must
+// not be modified.
 func (t *Topology) NodesWithin(n NodeID, h int) []NodeID {
-	var out []NodeID
-	for i := 0; i < t.numNodes; i++ {
-		if t.hops[n][i] <= h {
-			out = append(out, NodeID(i))
-		}
+	if h < 0 {
+		return nil
 	}
-	return out
+	if h > t.maxHops {
+		h = t.maxHops
+	}
+	return t.nodesWithin[n][h]
 }
 
 // CoresWithin returns the cores of all nodes within h hops of node n,
-// ascending.
+// ascending. The returned slice is shared and must not be modified.
 func (t *Topology) CoresWithin(n NodeID, h int) []CoreID {
-	var out []CoreID
-	for _, node := range t.NodesWithin(n, h) {
-		out = append(out, t.coresOf[node]...)
+	if h < 0 {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	if h > t.maxHops {
+		h = t.maxHops
+	}
+	return t.coresWithin[n][h]
 }
 
 // Neighbors returns the one-hop neighbor nodes of n, ascending, excluding n.

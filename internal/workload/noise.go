@@ -17,7 +17,8 @@ import (
 type Noise struct {
 	m       *machine.Machine
 	rng     *rand.Rand
-	mean    sim.Time // mean inter-arrival
+	tm      *sim.Timer // burst timer, re-armed in place
+	mean    sim.Time   // mean inter-arrival
 	minDur  sim.Time
 	maxDur  sim.Time
 	stopped bool
@@ -59,6 +60,13 @@ func StartNoise(m *machine.Machine, opts NoiseOpts) *Noise {
 		minDur: opts.MinDur,
 		maxDur: opts.MaxDur,
 	}
+	n.tm = m.Eng.NewTimer(func() {
+		if n.stopped {
+			return
+		}
+		n.burst()
+		n.scheduleNext()
+	})
 	n.scheduleNext()
 	return n
 }
@@ -71,13 +79,7 @@ func (n *Noise) scheduleNext() {
 	if gap < 10*sim.Microsecond {
 		gap = 10 * sim.Microsecond
 	}
-	n.m.Eng.After(gap, func() {
-		if n.stopped {
-			return
-		}
-		n.burst()
-		n.scheduleNext()
-	})
+	n.tm.ResetAfter(gap)
 }
 
 func (n *Noise) burst() {

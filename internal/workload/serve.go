@@ -66,6 +66,7 @@ type Serve struct {
 	opts  ServeOpts
 	queue *machine.WorkQueue
 	rng   *rand.Rand
+	arrTm *sim.Timer // open-loop arrival timer, re-armed in place
 
 	injected  int
 	completed int
@@ -83,6 +84,10 @@ func StartServe(m *machine.Machine, opts ServeOpts) *Serve {
 		queue: m.NewWorkQueue(),
 		rng:   rand.New(rand.NewSource(opts.Seed)),
 	}
+	s.arrTm = m.Eng.NewTimer(func() {
+		s.inject()
+		s.scheduleNext()
+	})
 	p := m.NewProc("server", machine.ProcOpts{})
 	for i := 0; i < opts.Workers; i++ {
 		prog := machine.NewProgram().
@@ -105,10 +110,7 @@ func (s *Serve) scheduleNext() {
 	if gap < sim.Microsecond {
 		gap = sim.Microsecond
 	}
-	s.m.Eng.After(gap, func() {
-		s.inject()
-		s.scheduleNext()
-	})
+	s.arrTm.ResetAfter(gap)
 }
 
 // inject emits one request: a task whose completion hook records the

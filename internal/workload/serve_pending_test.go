@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TestServePendingBounded is the lazy-cancellation regression test: the
+// open-loop serving workload re-arms timers and cancels compute events
+// constantly (every preemption cancels the running thread's completion
+// event), and with lazy cancellation those dead events stay queued until
+// their due time. The engine's pending count must stay bounded by the
+// outstanding work, not grow with the number of cancellations.
+func TestServePendingBounded(t *testing.T) {
+	m := machine.New(topology.TwoNode(4), sched.DefaultConfig(), 7)
+	s := StartServe(m, ServeOpts{QPS: 4000, Requests: 800, Seed: 3})
+	maxPending := 0
+	step := sim.Millisecond
+	for i := 0; i < 400 && s.Completed() < 800; i++ {
+		m.Run(step)
+		if p := m.Eng.Pending(); p > maxPending {
+			maxPending = p
+		}
+	}
+	if s.Completed() == 0 {
+		t.Fatal("no requests completed")
+	}
+	// The live event population is O(threads + timers): 8 workers, 8
+	// core ticks, a handful of VM events, plus dead events awaiting
+	// their due time. Hundreds would mean cancelled events accumulate.
+	if maxPending > 200 {
+		t.Fatalf("engine Pending reached %d during serve:qps; cancelled events are accumulating", maxPending)
+	}
+}
