@@ -18,7 +18,7 @@ SHELL := /bin/bash
 
 .PHONY: all build vet lint test race bench bench-out.txt bench-json \
 	bench-baseline-refresh profile campaign bisect bisect-smoke campaign-smoke \
-	bisect-nightly campaign-nightly baseline-refresh ci nightly
+	trace-smoke bisect-nightly campaign-nightly baseline-refresh ci nightly
 
 all: ci
 
@@ -49,7 +49,10 @@ bench:
 # (events/s + scenarios/s) plus the engine microbenchmarks, parsed into
 # a machine-readable report and gated against the committed allocation
 # baseline (allocs/op only — wall clock is not comparable across
-# machines). Exit 3 from benchjson = an allocation regression.
+# machines). Exit 3 from benchjson = an allocation regression. The
+# -max-allocs-per-event bound additionally asserts that obs-disabled
+# campaign runs stay at or under one allocation per simulation event,
+# so the observability hooks keep compiling down to a nil-check.
 BENCH_PKG_ARGS  = -run '^$$' -bench 'BenchmarkCampaign|BenchmarkSimulatorThroughput' -benchmem -benchtime 5x .
 BENCH_SIM_ARGS  = -run '^$$' -bench 'BenchmarkEngine|BenchmarkEvent' -benchmem -benchtime 1s ./internal/sim
 
@@ -60,7 +63,7 @@ bench-out.txt:
 
 bench-json: bench-out.txt
 	$(GO) run ./cmd/benchjson -in bench-out.txt -out BENCH_campaign.json \
-		-baseline baselines/bench-smoke.json
+		-baseline baselines/bench-smoke.json -max-allocs-per-event 1
 
 # Re-pin the allocation baseline after an intentional change (commit the
 # result, like the campaign/bisect baselines).
@@ -97,6 +100,13 @@ bisect-smoke:
 campaign-smoke:
 	$(GO) run ./cmd/campaign -matrix smoke -q -out campaign-smoke.json \
 		-baseline baselines/campaign-smoke.json -diff-out campaign-smoke-diff.txt
+
+# Export a Perfetto/Chrome trace of the smoke matrix's lead scenario
+# (a side run — artifact bytes are unaffected). Open trace-smoke.json
+# at https://ui.perfetto.dev; CI uploads it as a workflow artifact.
+trace-smoke:
+	$(GO) run ./cmd/campaign -matrix smoke -q -out /dev/null \
+		-trace-out trace-smoke.json
 
 # The nightly gates: the default-scale sweeps (too slow for every push)
 # against their committed baselines. Run by .github/workflows/nightly.yml

@@ -154,6 +154,9 @@ func BenchmarkCampaign(b *testing.B) {
 			}
 			b.ReportMetric(float64(scenarios*b.N)/b.Elapsed().Seconds(), "scenarios/s")
 			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+			// events/op lets benchjson derive allocs-per-event, the gate
+			// that keeps the obs-disabled hot path allocation-free.
+			b.ReportMetric(float64(events), "events/op")
 		})
 	}
 }

@@ -18,6 +18,10 @@
 //	-baseline file    gate allocs/op against this committed report;
 //	                  exit 3 when any pinned benchmark regresses
 //	-alloc-tolerance  allowed allocs/op growth percent (default 10)
+//	-max-allocs-per-event
+//	                  gate allocs/op divided by the events/op metric on
+//	                  every benchmark reporting one; exit 3 when the
+//	                  ratio exceeds the bound (0 disables, the default)
 //
 // Exit codes: 0 on success, 1 on runtime/IO errors, 2 on usage errors,
 // 3 when -baseline found an allocation regression — mirroring the
@@ -69,6 +73,7 @@ func main() {
 		out       = flag.String("out", "", "write the JSON report here (\"-\" for stdout)")
 		baseline  = flag.String("baseline", "", "gate allocs/op against this report")
 		allocTol  = flag.Float64("alloc-tolerance", 10, "allowed allocs/op growth percent")
+		maxAPE    = flag.Float64("max-allocs-per-event", 0, "max allocs/op per events/op metric (0 disables)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -140,5 +145,32 @@ func main() {
 			os.Exit(exitRegression)
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: allocs/op within %.3g%% of %s (%d benchmarks compared)\n", *allocTol, *baseline, matched)
+	}
+
+	if *maxAPE > 0 {
+		var breaches []string
+		checked := 0
+		for _, b := range rep.Benchmarks {
+			events, ok := b.Metrics["events/op"]
+			if !ok || events <= 0 || b.AllocsPerOp == 0 {
+				continue
+			}
+			checked++
+			if ape := float64(b.AllocsPerOp) / events; ape > *maxAPE {
+				breaches = append(breaches, fmt.Sprintf("%s: %.3f allocs/event (%d allocs/op over %.0f events/op)",
+					b.Name, ape, b.AllocsPerOp, events))
+			}
+		}
+		if checked == 0 {
+			fatalf("-max-allocs-per-event set but no benchmark reports an events/op metric")
+		}
+		if len(breaches) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: allocs per simulation event above %.3g on %d benchmarks:\n", *maxAPE, len(breaches))
+			for _, s := range breaches {
+				fmt.Fprintf(os.Stderr, "  %s\n", s)
+			}
+			os.Exit(exitRegression)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: allocs per event within %.3g (%d benchmarks checked)\n", *maxAPE, checked)
 	}
 }

@@ -56,6 +56,11 @@
 //	-seed-bands file widen per-metric tolerances to the cross-seed spread
 //	                 observed in this multi-seed variance artifact
 //	-diff-out file   also write the -baseline comparison report to this file
+//	-trace-out file  export one scenario as Chrome trace-event / Perfetto
+//	                 JSON (a deterministic side run; the artifact is
+//	                 unaffected); open the file at ui.perfetto.dev
+//	-trace-key key   scenario to export (default: first key)
+//	-telemetry-addr a  serve live progress as expvar on this address
 //	-q               suppress the verdict summary
 //
 // Exit codes: 0 on success, 1 on runtime/IO errors, 2 on usage errors,
@@ -67,11 +72,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"repro/internal/bisect"
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/sim"
 )
@@ -101,6 +108,9 @@ func main() {
 		tolerance   = flag.Float64("tolerance", 2, "baseline regression tolerance percent")
 		bandSource  = flag.String("seed-bands", "", "artifact whose cross-seed spread widens per-metric tolerances")
 		diffOut     = flag.String("diff-out", "", "write the baseline comparison report to this file")
+		traceOut    = flag.String("trace-out", "", "export one scenario as Perfetto JSON to this file")
+		traceKey    = flag.String("trace-key", "", "scenario key to export with -trace-out (default: first)")
+		telemetry   = flag.String("telemetry-addr", "", "serve live expvar progress on this address")
 		quiet       = flag.Bool("q", false, "suppress the verdict summary")
 	)
 	flag.Parse()
@@ -132,13 +142,52 @@ func main() {
 	o.StreakK = *streakK
 	opts := campaign.RunnerOpts{Workers: o.Workers, BaseSeed: o.BaseSeed, Checker: o.Checker, StreakK: o.StreakK}
 
+	// Wall-clock telemetry: progress lines on stderr plus an optional
+	// expvar endpoint. OnResult never influences artifact bytes.
+	var tel *obs.Telemetry
+	onResult := func(r campaign.Result) {
+		if tel == nil {
+			return
+		}
+		tel.Observe(r.Events)
+		if !*quiet {
+			if line, ok := tel.MaybeLine(); ok {
+				fmt.Fprintf(os.Stderr, "bisect: %s\n", line)
+			}
+		}
+	}
+	o.OnResult = onResult
+	opts.OnResult = onResult
+	var stopTel func() error
+	defer func() {
+		if stopTel != nil {
+			stopTel()
+		}
+	}()
+	startTelemetry := func(total int) {
+		w := o.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		tel = obs.NewTelemetry(total, w)
+		if *telemetry != "" {
+			addr, stop, err := tel.Serve(*telemetry)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			stopTel = stop
+			fmt.Fprintf(os.Stderr, "bisect: telemetry at http://%s/debug/vars\n", addr)
+		}
+	}
+
 	if *shardSpec != "" {
 		// A shard of the lattice is a campaign artifact, not a report:
 		// analysis needs the whole lattice, which only -merge restores.
 		if *mergeMode || *incremental != "" || *baseline != "" {
 			usagef("-shard does not combine with -merge, -incremental or -baseline; merge the shards first")
 		}
-		runShard(o, opts, *shardSpec, *out, *quiet)
+		runShard(o, opts, *shardSpec, *out, *quiet, startTelemetry)
+		exportTrace(o, opts, *traceOut, *traceKey)
 		return
 	}
 
@@ -176,6 +225,7 @@ func main() {
 		scenarios := o.Matrix().Scenarios()
 		diff := shard.Plan(scenarios, prior.Campaign, opts)
 		fmt.Fprintf(os.Stderr, "bisect: incremental vs %s: %s\n", *incremental, diff.Summary())
+		startTelemetry(len(diff.ToRun))
 		c, err := diff.Execute(opts)
 		if err != nil {
 			fatalf("%v", err)
@@ -189,11 +239,16 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "bisect: running %d scenarios (%d cells x %d lattice points, base seed %d, scale %g)\n",
 			o.Matrix().Size(), o.Matrix().Size()/bisect.NumSets, bisect.NumSets, o.BaseSeed, o.Scale)
+		startTelemetry(o.Matrix().Size())
 		var err error
 		if r, err = bisect.Run(o); err != nil {
 			fatalf("%v", err)
 		}
 	}
+	if tel != nil && !*quiet && tel.Done() > 0 {
+		fmt.Fprintf(os.Stderr, "bisect: %s\n", tel.Line())
+	}
+	exportTrace(o, opts, *traceOut, *traceKey)
 
 	if !*quiet {
 		if *out == "-" {
@@ -262,7 +317,7 @@ func main() {
 
 // runShard executes one shard of the lattice matrix and writes the
 // campaign shard artifact.
-func runShard(o bisect.Options, opts campaign.RunnerOpts, spec, out string, quiet bool) {
+func runShard(o bisect.Options, opts campaign.RunnerOpts, spec, out string, quiet bool, startTelemetry func(int)) {
 	sp, err := shard.ParseSpec(spec)
 	if err != nil {
 		usagef("%v", err)
@@ -273,6 +328,7 @@ func runShard(o bisect.Options, opts campaign.RunnerOpts, spec, out string, quie
 	}
 	fmt.Fprintf(os.Stderr, "bisect: shard %s holds %d of %d scenarios (campaign artifact only; -merge analyzes)\n",
 		sp, len(scenarios), o.Matrix().Size())
+	startTelemetry(len(scenarios))
 	c, err := campaign.RunScenarios(scenarios, opts)
 	if err != nil {
 		fatalf("%v", err)
@@ -297,6 +353,35 @@ func runShard(o bisect.Options, opts campaign.RunnerOpts, spec, out string, quie
 		fatalf("%v", err)
 	} else {
 		fmt.Fprintf(os.Stderr, "bisect: wrote shard artifact %s (%d bytes)\n", out, len(data))
+	}
+}
+
+// exportTrace writes one scenario of the sweep as Perfetto JSON — a
+// deterministic side run that leaves the report artifact untouched.
+func exportTrace(o bisect.Options, opts campaign.RunnerOpts, outPath, key string) {
+	if outPath == "" {
+		return
+	}
+	sc, err := campaign.SelectExportScenario(o.Matrix().Scenarios(), key)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	exp, err := campaign.ExportPerfetto(sc, opts, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "bisect: wrote Perfetto trace %s (scenario %s, %d events) — open at ui.perfetto.dev\n",
+		outPath, exp.Key, exp.Events)
+	if exp.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "bisect: warning: trace dropped %d events (capture buffer full); timeline has gaps\n",
+			exp.Dropped)
 	}
 }
 

@@ -45,6 +45,15 @@
 //	                 cores while an allowed core idles form a witnessed
 //	                 streak (default 4; stamped into the artifact)
 //	-trace           capture violation-window traces
+//	-metrics         sample scheduler/machine metrics in virtual time into
+//	                 per-result snapshots (stamped into the artifact)
+//	-metrics-cadence-ms f  metrics sampling interval in virtual ms (default 10)
+//	-trace-out file  export one scenario as Chrome trace-event / Perfetto
+//	                 JSON (a deterministic side run — the artifact is
+//	                 unaffected); open the file at ui.perfetto.dev
+//	-trace-key key   scenario to export (default: first key)
+//	-telemetry-addr a  serve live progress as expvar on this address
+//	                 (e.g. ":8331"; variable "campaign" at /debug/vars)
 //	-out file        write the JSON artifact here ("-" for stdout)
 //	-baseline file   compare against a previous artifact; exit 3 on regression
 //	-tolerance pct   regression tolerance percent (default 2)
@@ -69,6 +78,7 @@ import (
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/sim"
 )
@@ -93,6 +103,11 @@ func main() {
 		horizon     = flag.Float64("horizon", 200, "per-scenario horizon in virtual seconds")
 		streakK     = flag.Int("streak-k", 0, "wakeup-streak threshold (0 = default 4)")
 		traceOn     = flag.Bool("trace", false, "capture violation-window traces")
+		metricsOn   = flag.Bool("metrics", false, "sample virtual-time metrics into per-result snapshots")
+		cadenceMs   = flag.Float64("metrics-cadence-ms", 0, "metrics sampling interval in virtual ms (0 = 10)")
+		traceOut    = flag.String("trace-out", "", "export one scenario as Perfetto JSON to this file")
+		traceKey    = flag.String("trace-key", "", "scenario key to export with -trace-out (default: first)")
+		telemetry   = flag.String("telemetry-addr", "", "serve live expvar progress on this address")
 		out         = flag.String("out", "", "write JSON artifact to this file (\"-\" for stdout)")
 		baseline    = flag.String("baseline", "", "compare against this artifact")
 		tolerance   = flag.Float64("tolerance", 2, "regression tolerance percent")
@@ -116,6 +131,9 @@ func main() {
 	if *mergeMode {
 		if *shardSpec != "" || *incremental != "" {
 			usagef("-merge does not combine with -shard or -incremental")
+		}
+		if *traceOut != "" {
+			usagef("-trace-out needs a scenario matrix; it does not combine with -merge")
 		}
 		if flag.NArg() == 0 {
 			usagef("-merge needs shard artifact files as arguments")
@@ -160,11 +178,47 @@ func main() {
 				sp, len(scenarios), m.Size())
 		}
 		opts := campaign.RunnerOpts{
-			Workers:  *workers,
-			BaseSeed: *baseSeed,
-			Trace:    *traceOn,
-			StreakK:  *streakK,
+			Workers:        *workers,
+			BaseSeed:       *baseSeed,
+			Trace:          *traceOn,
+			StreakK:        *streakK,
+			Metrics:        *metricsOn,
+			MetricsCadence: sim.Time(*cadenceMs * float64(sim.Millisecond)),
 		}
+
+		// Wall-clock telemetry: progress lines on stderr plus an optional
+		// expvar endpoint. Strictly observational — OnResult never touches
+		// the artifact, so byte-determinism is preserved.
+		var tel *obs.Telemetry
+		opts.OnResult = func(r campaign.Result) {
+			if tel == nil {
+				return
+			}
+			tel.Observe(r.Events)
+			if !*quiet {
+				if line, ok := tel.MaybeLine(); ok {
+					fmt.Fprintf(os.Stderr, "campaign: %s\n", line)
+				}
+			}
+		}
+		var stopTel func() error
+		defer func() {
+			if stopTel != nil {
+				stopTel()
+			}
+		}()
+		startTelemetry := func(total int) {
+			tel = obs.NewTelemetry(total, effectiveWorkers(*workers))
+			if *telemetry != "" {
+				addr, stop, err := tel.Serve(*telemetry)
+				if err != nil {
+					fatalf("%v", err)
+				}
+				stopTel = stop
+				fmt.Fprintf(os.Stderr, "campaign: telemetry at http://%s/debug/vars\n", addr)
+			}
+		}
+
 		if *incremental != "" {
 			prior, err := campaign.Load(*incremental)
 			if err != nil {
@@ -172,6 +226,7 @@ func main() {
 			}
 			diff := shard.Plan(scenarios, prior, opts)
 			fmt.Fprintf(os.Stderr, "campaign: incremental vs %s: %s\n", *incremental, diff.Summary())
+			startTelemetry(len(diff.ToRun))
 			spliced, err := diff.Execute(opts)
 			if err != nil {
 				fatalf("%v", err)
@@ -180,11 +235,39 @@ func main() {
 		} else {
 			fmt.Fprintf(os.Stderr, "campaign: running %d scenarios on %d workers (base seed %d, scale %g)\n",
 				len(scenarios), effectiveWorkers(*workers), *baseSeed, m.Scale)
+			startTelemetry(len(scenarios))
 			run, err := campaign.RunScenarios(scenarios, opts)
 			if err != nil {
 				fatalf("%v", err)
 			}
 			c = run
+		}
+		if tel != nil && !*quiet && tel.Done() > 0 {
+			fmt.Fprintf(os.Stderr, "campaign: %s\n", tel.Line())
+		}
+
+		if *traceOut != "" {
+			sc, err := campaign.SelectExportScenario(scenarios, *traceKey)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			exp, err := campaign.ExportPerfetto(sc, opts, f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "campaign: wrote Perfetto trace %s (scenario %s, %d events) — open at ui.perfetto.dev\n",
+				*traceOut, exp.Key, exp.Events)
+			if exp.Dropped > 0 {
+				fmt.Fprintf(os.Stderr, "campaign: warning: trace dropped %d events (capture buffer full); timeline has gaps\n",
+					exp.Dropped)
+			}
 		}
 	}
 

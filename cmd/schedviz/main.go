@@ -7,7 +7,12 @@
 //
 //	schedviz -trace FILE -cores N \
 //	         [-mode size|load|considered|balance|episodes] \
-//	         [-observer CPU] [-cols N] [-svg out.svg]
+//	         [-observer CPU] [-cols N] [-svg out.svg] \
+//	         [-perfetto out.json]
+//
+// -perfetto converts the trace to Chrome trace-event JSON (per-CPU busy
+// slices, runqueue-depth and load counter tracks, decision instants) for
+// ui.perfetto.dev, instead of rendering a chart.
 //
 // Traces are produced with trace.Recorder.WriteTo (see the groupimbalance
 // example, which writes one).
@@ -18,6 +23,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/viz"
@@ -30,6 +36,7 @@ func main() {
 	observer := flag.Int("observer", 0, "observer core for considered mode")
 	cols := flag.Int("cols", 160, "time buckets")
 	svgOut := flag.String("svg", "", "also write the heatmap as SVG")
+	perfetto := flag.String("perfetto", "", "write the trace as Perfetto/Chrome trace-event JSON and exit")
 	flag.Parse()
 
 	if *traceFile == "" {
@@ -41,12 +48,31 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	events, err := trace.Read(f)
+	events, meta, err := trace.ReadMeta(f)
 	if err != nil {
 		fatal(err)
 	}
+	if meta.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "schedviz: warning: recorder dropped %d events (capture buffer full); the trace has gaps\n",
+			meta.Dropped)
+	}
 	if len(events) == 0 {
 		fatal(fmt.Errorf("trace %s contains no events", *traceFile))
+	}
+	if *perfetto != "" {
+		out, err := os.Create(*perfetto)
+		if err != nil {
+			fatal(err)
+		}
+		err = obs.WritePerfetto(out, events, nil, obs.PerfettoOpts{Cores: *cores})
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d events) — open at ui.perfetto.dev\n", *perfetto, len(events))
+		return
 	}
 	t0, t1 := events[0].At, events[len(events)-1].At
 	if t1 <= t0 {

@@ -80,6 +80,11 @@ type Options struct {
 	// qualifying set. Tails under this floor are treated as equally
 	// good (0 = 100µs).
 	LatencySlack sim.Time
+
+	// OnResult, when non-nil, is passed through to the campaign runner
+	// for progress telemetry; like campaign.RunnerOpts.OnResult it never
+	// influences the report (see that field for the contract).
+	OnResult func(campaign.Result)
 }
 
 func (o Options) withDefaults() Options {
@@ -134,6 +139,7 @@ func Run(opts Options) (*Report, error) {
 		BaseSeed: opts.BaseSeed,
 		Checker:  opts.Checker,
 		StreakK:  opts.StreakK,
+		OnResult: opts.OnResult,
 	})
 	if err != nil {
 		return nil, err

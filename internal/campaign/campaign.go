@@ -37,6 +37,7 @@ import (
 	"sort"
 
 	"repro/internal/latency"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -105,6 +106,18 @@ type Result struct {
 	// TraceEvents counts trace-recorder events captured around confirmed
 	// violations (zero unless RunnerOpts.Trace).
 	TraceEvents int `json:"trace_events"`
+	// TraceDropped counts trace events lost to the recorder's capacity
+	// limit — a capture-completeness warning that was previously silent.
+	// Omitted when zero so pre-existing artifacts keep their bytes.
+	TraceDropped uint64 `json:"trace_dropped,omitempty"`
+
+	// Metrics is the scenario's virtual-time metrics snapshot
+	// (internal/obs): series summaries sampled on the campaign's metrics
+	// cadence plus hook-driven histograms. Nil unless
+	// RunnerOpts.Metrics; deterministic when present, so artifacts
+	// carrying it stay byte-identical across worker counts and shard
+	// merges.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 
 	// WakeLatency digests the scenario's wakeup-to-run delays and
 	// RunqWait every runqueue-wait span (internal/latency; nil when the
@@ -159,6 +172,14 @@ type Campaign struct {
 	// are only meaningful against it, so it joins the merge checks and
 	// the incremental fingerprint.
 	StreakK int `json:"streak_k,omitempty"`
+	// Metrics records whether the obs metrics registry was attached
+	// (it adds per-result Metrics snapshots and its sampling timer
+	// changes Events counts), and MetricsCadenceNs the resolved
+	// sampling interval. Both join the merge checks and the incremental
+	// fingerprint; both are omitted when metrics are off so
+	// pre-existing artifacts keep their bytes.
+	Metrics          bool  `json:"metrics,omitempty"`
+	MetricsCadenceNs int64 `json:"metrics_cadence_ns,omitempty"`
 	// Results are sorted by Key — insertion order (and therefore worker
 	// scheduling) cannot leak into the artifact.
 	Results []Result `json:"results"`

@@ -1,0 +1,126 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/checker"
+	"repro/internal/latency"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// TraceExport reports what ExportPerfetto captured.
+type TraceExport struct {
+	// Key is the exported scenario's key.
+	Key string
+	// Events is the number of trace events captured.
+	Events int
+	// Dropped is the recorder's lost-event count; non-zero means the
+	// capture buffer filled and the timeline has gaps.
+	Dropped uint64
+}
+
+// SelectExportScenario picks the scenario to export: the one matching
+// key, or — when key is empty — the first in matrix order (matrix order
+// leads with workloads that drive the machine engine, so the default
+// export has a live timeline). An explicit key that matches nothing is
+// an error listing the available keys.
+func SelectExportScenario(scenarios []Scenario, key string) (Scenario, error) {
+	if len(scenarios) == 0 {
+		return Scenario{}, fmt.Errorf("campaign: no scenarios to export")
+	}
+	if key == "" {
+		return scenarios[0], nil
+	}
+	keys := make([]string, 0, len(scenarios))
+	for _, sc := range scenarios {
+		if sc.Key() == key {
+			return sc, nil
+		}
+		keys = append(keys, sc.Key())
+	}
+	sort.Strings(keys)
+	return Scenario{}, fmt.Errorf("campaign: no scenario %q; available:\n  %s", key, joinLines(keys))
+}
+
+func joinLines(keys []string) string {
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += k
+	}
+	return out
+}
+
+// ExportPerfetto re-runs one scenario with a full-run trace capture and
+// an attached metrics registry, and writes the merged Chrome
+// trace-event / Perfetto JSON to w.
+//
+// This is deliberately a *side run*, separate from the campaign proper:
+// always-on recording and metrics sampling change per-run event counts,
+// so folding them into the campaign would make artifact bytes depend on
+// an export flag. The side run derives the same engine seed from the
+// same (BaseSeed, key, seed) triple, so its timeline is the campaign
+// scenario's timeline, not an approximation of it.
+func ExportPerfetto(sc Scenario, opts RunnerOpts, w io.Writer) (TraceExport, error) {
+	key := sc.Key()
+	engineSeed := DeriveSeed(opts.BaseSeed, key, sc.Seed)
+	topo := sc.Topology.Build()
+	m := machine.New(topo, sc.Config.Config, engineSeed)
+
+	if len(sc.Config.Modules) > 0 {
+		modules := make([]modsched.Module, 0, len(sc.Config.Modules))
+		for _, name := range sc.Config.Modules {
+			mod, ok := modsched.ModuleByName(name)
+			if !ok {
+				return TraceExport{}, fmt.Errorf("campaign: unknown modsched module %q", name)
+			}
+			modules = append(modules, mod)
+		}
+		cm := modsched.Attach(m.Sched, modsched.Config{}, modules...)
+		defer cm.Detach()
+	}
+
+	// Full-run capture: recorder active from t=0 with a large buffer
+	// (the campaign's checker-windowed recorder only profiles around
+	// violations — an export wants the whole timeline). EmitSnapshot
+	// seeds the initial runqueue state so derived busy slices and
+	// counter tracks start from truth rather than the first transition.
+	rec := trace.NewRecorder(1 << 21)
+	m.SetRecorder(rec)
+	rec.Start()
+	m.Sched.EmitSnapshot()
+
+	reg := obs.NewRegistry(m.Eng, obs.Options{Cadence: opts.EffectiveMetricsCadence()})
+	m.Sched.AttachObs(reg)
+	m.AttachObs(reg)
+	reg.Start()
+
+	col := latency.NewCollector(latency.Config{StreakK: opts.EffectiveStreakK()})
+	m.Sched.SetLatencyProbe(col)
+	ck := checker.New(m.Sched, nil, opts.EffectiveChecker())
+	ck.ObserveLatency(col)
+	ck.Start()
+	defer ck.Stop()
+
+	sc.Workload.Run(&RunContext{
+		M:       m,
+		Topo:    topo,
+		Seed:    engineSeed,
+		Scale:   sc.Scale,
+		Horizon: sc.Horizon,
+	})
+
+	exp := TraceExport{Key: key, Events: rec.Len(), Dropped: rec.Dropped()}
+	err := obs.WritePerfetto(w, rec.Events(), reg.Series(), obs.PerfettoOpts{
+		Cores:           topo.NumCores(),
+		MaxSeriesPoints: 4096,
+	})
+	return exp, err
+}

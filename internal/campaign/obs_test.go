@@ -1,0 +1,163 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestMetricsCampaignDeterministic: with the metrics registry enabled,
+// campaign artifacts must stay byte-identical across worker counts and
+// must embed a metrics snapshot per scenario. Metrics-on is a distinct
+// configuration (the sampling timer adds engine events), but it has to
+// be just as deterministic as metrics-off.
+func TestMetricsCampaignDeterministic(t *testing.T) {
+	m := SmokeMatrix()
+	opts := RunnerOpts{Workers: 1, BaseSeed: 42, Metrics: true, MetricsCadence: 5 * sim.Millisecond}
+	var artifacts [][]byte
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		opts.Workers = workers
+		c, err := Run(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := c.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		artifacts = append(artifacts, data)
+		if !c.Metrics || c.MetricsCadenceNs != int64(5*sim.Millisecond) {
+			t.Fatalf("metrics settings not stamped: metrics=%v cadence=%d", c.Metrics, c.MetricsCadenceNs)
+		}
+		for _, r := range c.Results {
+			if r.Metrics == nil {
+				t.Fatalf("scenario %s: no metrics snapshot", r.Key)
+			}
+			if len(r.Metrics.Series) == 0 {
+				t.Fatalf("scenario %s: empty snapshot %+v", r.Key, r.Metrics)
+			}
+			// Workloads that never drive the machine engine (globalq runs
+			// its own inner simulations) legitimately sample zero rounds.
+			if r.Events > 0 && r.Metrics.Rounds == 0 {
+				t.Fatalf("scenario %s: %d engine events but zero sampling rounds", r.Key, r.Events)
+			}
+			names := map[string]bool{}
+			for _, s := range r.Metrics.Series {
+				names[s.Name] = true
+			}
+			for _, want := range []string{"sched/runq", "sched/idle_cores", "sched/migrations", "sim/events", "machine/threads_alive"} {
+				if !names[want] {
+					t.Fatalf("scenario %s: missing series %q in %v", r.Key, want, names)
+				}
+			}
+		}
+	}
+	if !bytes.Equal(artifacts[0], artifacts[1]) {
+		t.Fatalf("metrics-enabled artifacts differ between workers=1 and workers=%d", runtime.NumCPU())
+	}
+}
+
+// TestMetricsOffLeavesArtifactUntouched: the default configuration must
+// serialize without any metrics fields so committed baselines stay
+// byte-identical.
+func TestMetricsOffLeavesArtifactUntouched(t *testing.T) {
+	m := SmokeMatrix()
+	c, err := Run(m, RunnerOpts{Workers: 1, BaseSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"metrics"`, `"metrics_cadence_ns"`, `"trace_dropped"`} {
+		if bytes.Contains(data, []byte(frag)) {
+			t.Fatalf("metrics-off artifact contains %s", frag)
+		}
+	}
+}
+
+// TestSelectExportScenario covers default selection, explicit keys, and
+// the error path listing valid keys.
+func TestSelectExportScenario(t *testing.T) {
+	scenarios := SmokeMatrix().Scenarios()
+	sc, err := SelectExportScenario(scenarios, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Key() != scenarios[0].Key() {
+		t.Fatalf("default pick %q, want first in matrix order %q", sc.Key(), scenarios[0].Key())
+	}
+	want := scenarios[len(scenarios)-1].Key()
+	sc, err = SelectExportScenario(scenarios, want)
+	if err != nil || sc.Key() != want {
+		t.Fatalf("explicit key: got %q, %v", sc.Key(), err)
+	}
+	if _, err := SelectExportScenario(scenarios, "nope"); err == nil {
+		t.Fatal("bad key accepted")
+	} else if !strings.Contains(err.Error(), scenarios[0].Key()) {
+		t.Fatalf("error does not list valid keys: %v", err)
+	}
+}
+
+// TestExportPerfettoSmoke runs the export side-path on a smoke scenario
+// and validates the emitted JSON: parseable, per-CPU tracks present, and
+// runqueue-depth counters included.
+func TestExportPerfettoSmoke(t *testing.T) {
+	scenarios := SmokeMatrix().Scenarios()
+	sc, err := SelectExportScenario(scenarios, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	exp, err := ExportPerfetto(sc, RunnerOpts{BaseSeed: 42}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Key != sc.Key() {
+		t.Fatalf("export key %q, want %q", exp.Key, sc.Key())
+	}
+	if exp.Events == 0 {
+		t.Fatal("export captured no trace events")
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ns" || len(f.TraceEvents) == 0 {
+		t.Fatalf("degenerate export: unit=%q events=%d", f.DisplayTimeUnit, len(f.TraceEvents))
+	}
+	var sawBusy, sawDepth, sawMetric bool
+	for _, ev := range f.TraceEvents {
+		switch {
+		case ev.Ph == "X" && ev.Name == "busy":
+			sawBusy = true
+		case ev.Ph == "C" && strings.HasPrefix(ev.Name, "runq depth"):
+			sawDepth = true
+		case ev.Ph == "C" && strings.HasPrefix(ev.Name, "sched/"):
+			sawMetric = true
+		}
+	}
+	if !sawBusy || !sawDepth || !sawMetric {
+		t.Fatalf("missing tracks: busy=%v depth=%v metric=%v", sawBusy, sawDepth, sawMetric)
+	}
+
+	// Same scenario, same seed: the export itself must be deterministic.
+	var buf2 bytes.Buffer
+	if _, err := ExportPerfetto(sc, RunnerOpts{BaseSeed: 42}, &buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("perfetto export is not deterministic across runs")
+	}
+}

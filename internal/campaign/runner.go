@@ -12,6 +12,7 @@ import (
 	"repro/internal/latency"
 	"repro/internal/machine"
 	"repro/internal/modsched"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -38,6 +39,16 @@ type RunnerOpts struct {
 	// latency.DefaultStreakK). The resolved value is stamped into the
 	// artifact: streak counts are only comparable at equal K.
 	StreakK int
+	// Metrics attaches an obs metrics registry to every scenario:
+	// scheduler and machine instruments are sampled in virtual time on
+	// MetricsCadence and each Result carries a deterministic Snapshot.
+	// Like Trace, the toggle (and the resolved cadence) is stamped into
+	// the artifact — the sampling timer changes per-result Events
+	// counts, so metrics-on and metrics-off artifacts are distinct.
+	Metrics bool
+	// MetricsCadence is the virtual-time sampling interval (0 =
+	// obs.DefaultCadence). Ignored unless Metrics.
+	MetricsCadence sim.Time
 	// OnResult, when non-nil, is called from worker goroutines as each
 	// scenario finishes (for progress reporting). Calls may arrive in
 	// any order; the callback must be safe for concurrent use.
@@ -69,6 +80,16 @@ func (o RunnerOpts) EffectiveStreakK() int {
 		return latency.DefaultStreakK
 	}
 	return o.StreakK
+}
+
+// EffectiveMetricsCadence resolves the metrics sampling interval — the
+// single resolution shared by runScenario, the artifact stamp, and the
+// shard package's incremental fingerprint.
+func (o RunnerOpts) EffectiveMetricsCadence() sim.Time {
+	if o.MetricsCadence <= 0 {
+		return obs.DefaultCadence
+	}
+	return o.MetricsCadence
 }
 
 // DeriveSeed maps (base seed, scenario key, scenario seed) to the engine
@@ -120,6 +141,10 @@ func AssembleArtifact(scenarios []Scenario, results []Result, opts RunnerOpts) (
 		BaseSeed: opts.BaseSeed, Trace: opts.Trace,
 		CheckerSNs: int64(ck.S), CheckerMNs: int64(ck.M),
 		StreakK: opts.EffectiveStreakK(), Results: results}
+	if opts.Metrics {
+		c.Metrics = true
+		c.MetricsCadenceNs = int64(opts.EffectiveMetricsCadence())
+	}
 	// Stamp the campaign-wide scale and horizon only when they are
 	// uniform across scenarios; a mixed list leaves them zero rather
 	// than mislabeling the artifact with the first scenario's values.
@@ -222,6 +247,13 @@ func runScenario(sc Scenario, opts RunnerOpts) Result {
 		rec = trace.NewRecorder(1 << 16)
 		m.SetRecorder(rec)
 	}
+	var reg *obs.Registry
+	if opts.Metrics {
+		reg = obs.NewRegistry(m.Eng, obs.Options{Cadence: opts.EffectiveMetricsCadence()})
+		m.Sched.AttachObs(reg)
+		m.AttachObs(reg)
+		reg.Start()
+	}
 	col := latency.NewCollector(latency.Config{StreakK: opts.EffectiveStreakK()})
 	m.Sched.SetLatencyProbe(col)
 	ck := checker.New(m.Sched, rec, opts.EffectiveChecker())
@@ -276,6 +308,10 @@ func runScenario(sc Scenario, opts RunnerOpts) Result {
 	}
 	if rec != nil {
 		r.TraceEvents = rec.Len()
+		r.TraceDropped = rec.Dropped()
+	}
+	if reg != nil {
+		r.Metrics = reg.Snapshot()
 	}
 	return r
 }

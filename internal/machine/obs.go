@@ -1,0 +1,36 @@
+package machine
+
+import "repro/internal/obs"
+
+// AttachObs registers the machine's workload-level series on reg. All
+// of them are sampled reads over existing bookkeeping (the per-proc
+// running/alive counts the parallel-efficiency model already maintains),
+// so enabling metrics adds no cost to the machine's hot paths.
+func (m *Machine) AttachObs(reg *obs.Registry) {
+	reg.Sampled("machine/procs", -1, obs.KindGauge, func() int64 {
+		return int64(len(m.procs))
+	})
+	reg.Sampled("machine/procs_done", -1, obs.KindCounter, func() int64 {
+		var n int64
+		for _, p := range m.procs {
+			if p.done {
+				n++
+			}
+		}
+		return n
+	})
+	reg.Sampled("machine/threads_running", -1, obs.KindGauge, func() int64 {
+		var n int64
+		for _, p := range m.procs {
+			n += int64(p.running)
+		}
+		return n
+	})
+	reg.Sampled("machine/threads_alive", -1, obs.KindGauge, func() int64 {
+		var n int64
+		for _, p := range m.procs {
+			n += int64(p.alive)
+		}
+		return n
+	})
+}

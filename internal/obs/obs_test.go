@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// drive arms a registry over eng with a gauge and a counter and runs the
+// engine to horizon.
+func drive(t *testing.T, seed int64, opt Options, horizon sim.Time) ([]byte, *Registry) {
+	t.Helper()
+	eng := sim.New(seed)
+	reg := NewRegistry(eng, opt)
+	var level int64
+	reg.Sampled("test/level", -1, KindGauge, func() int64 { return level })
+	ctr := reg.Counter("test/ticks", -1)
+	h := reg.Histogram("test/obs")
+	// A workload-ish driver: every 3ms bump the gauge and counter.
+	var tick func()
+	tm := eng.NewTimer(func() { level = (level + 1) % 7; ctr.Inc(); h.Observe(level * 100); tick() })
+	tick = func() { tm.ResetAfter(3 * sim.Millisecond) }
+	tick()
+	reg.Start()
+	eng.RunUntil(horizon)
+	data, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, reg
+}
+
+func TestRegistrySamplesOnCadence(t *testing.T) {
+	eng := sim.New(1)
+	reg := NewRegistry(eng, Options{Cadence: 10 * sim.Millisecond})
+	s := reg.Sampled("x", -1, KindGauge, func() int64 { return int64(eng.Now()) })
+	reg.Start()
+	eng.RunUntil(105 * sim.Millisecond)
+	if got := s.Total(); got != 10 {
+		t.Fatalf("expected 10 samples in 105ms at 10ms cadence, got %d", got)
+	}
+	samples := s.Samples(nil)
+	for i, p := range samples {
+		want := sim.Time(i+1) * 10 * sim.Millisecond
+		if p.At != want || p.V != int64(want) {
+			t.Fatalf("sample %d: got (%v,%d), want (%v,%d)", i, p.At, p.V, want, int64(want))
+		}
+	}
+}
+
+func TestRegistryRingWraps(t *testing.T) {
+	eng := sim.New(1)
+	reg := NewRegistry(eng, Options{Cadence: sim.Millisecond, RingCap: 8})
+	s := reg.Sampled("x", -1, KindCounter, func() int64 { return int64(eng.Now() / sim.Millisecond) })
+	reg.Start()
+	eng.RunUntil(20 * sim.Millisecond)
+	if s.Total() != 20 {
+		t.Fatalf("total = %d, want 20", s.Total())
+	}
+	samples := s.Samples(nil)
+	if len(samples) != 8 {
+		t.Fatalf("retained %d, want 8", len(samples))
+	}
+	// Last 8 samples in time order: 13ms..20ms.
+	for i, p := range samples {
+		if want := sim.Time(13+i) * sim.Millisecond; p.At != want {
+			t.Fatalf("retained sample %d at %v, want %v", i, p.At, want)
+		}
+	}
+}
+
+// TestSnapshotDeterministic: two registries driven by identical
+// simulations snapshot to identical bytes — the property that lets
+// snapshots live inside byte-stable campaign artifacts.
+func TestSnapshotDeterministic(t *testing.T) {
+	a, _ := drive(t, 42, Options{Cadence: 5 * sim.Millisecond}, sim.Second)
+	b, _ := drive(t, 42, Options{Cadence: 5 * sim.Millisecond}, sim.Second)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshots differ across identical runs:\n%s\n%s", a, b)
+	}
+}
+
+func TestSnapshotSummaries(t *testing.T) {
+	_, reg := drive(t, 7, Options{Cadence: 5 * sim.Millisecond}, sim.Second)
+	snap := reg.Snapshot()
+	if snap.CadenceNs != int64(5*sim.Millisecond) {
+		t.Fatalf("cadence stamp %d", snap.CadenceNs)
+	}
+	byName := map[string]SeriesSnap{}
+	for _, s := range snap.Series {
+		byName[s.Name] = s
+	}
+	lv, ok := byName["test/level"]
+	if !ok {
+		t.Fatalf("missing test/level series; have %v", byName)
+	}
+	if lv.Kind != "gauge" || lv.Min < 0 || lv.Max > 6 || lv.P50 < lv.Min || lv.P50 > lv.Max {
+		t.Fatalf("implausible gauge summary %+v", lv)
+	}
+	ticks := byName["test/ticks"]
+	if ticks.Kind != "counter" || ticks.Last == 0 {
+		t.Fatalf("implausible counter summary %+v", ticks)
+	}
+	// Engine health series auto-registered by NewRegistry.
+	if _, ok := byName["sim/events"]; !ok {
+		t.Fatal("missing sim/events series")
+	}
+	if hw := byName["sim/heap_high_water"]; hw.Last == 0 {
+		t.Fatalf("heap high-water never sampled above zero: %+v", hw)
+	}
+	if len(snap.Hists) != 1 || snap.Hists[0].Name != "test/obs" || snap.Hists[0].Count == 0 {
+		t.Fatalf("implausible hists %+v", snap.Hists)
+	}
+}
+
+// TestSamplingAllocationFree: once armed, sampling must not allocate —
+// rings are preallocated and instruments are plain cells, so a
+// metrics-enabled run keeps the simulator's allocation discipline.
+func TestSamplingAllocationFree(t *testing.T) {
+	eng := sim.New(3)
+	reg := NewRegistry(eng, Options{Cadence: sim.Millisecond, RingCap: 64})
+	var g Gauge
+	for i := 0; i < 8; i++ {
+		i := i
+		reg.Sampled("x", i, KindGauge, func() int64 { return g.Value() + int64(i) })
+	}
+	reg.Start()
+	// Warm up (timer event pooling) and wrap the rings once.
+	eng.RunUntil(100 * sim.Millisecond)
+	next := eng.Now()
+	avg := testing.AllocsPerRun(50, func() {
+		next += 10 * sim.Millisecond
+		g.Add(1)
+		eng.RunUntil(next)
+	})
+	if avg != 0 {
+		t.Fatalf("sampling allocated %.1f allocs per 10 ticks, want 0", avg)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{-5, 0, 1, 2, 3, 1024} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.max != 1024 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.max)
+	}
+	// v<=0 -> bucket 0; 1 -> 1; 2,3 -> 2; 1024 -> 11.
+	want := map[int]int64{0: 2, 1: 1, 2: 2, 11: 1}
+	for i, n := range h.buckets {
+		if n != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, n, want[i])
+		}
+	}
+}
+
+func TestStopHaltsSampling(t *testing.T) {
+	eng := sim.New(1)
+	reg := NewRegistry(eng, Options{Cadence: sim.Millisecond})
+	s := reg.Sampled("x", -1, KindGauge, func() int64 { return 1 })
+	reg.Start()
+	eng.RunUntil(5 * sim.Millisecond)
+	reg.Stop()
+	got := s.Total()
+	// Nothing pending: the engine has no more work after Stop.
+	eng.RunUntil(50 * sim.Millisecond)
+	if s.Total() != got {
+		t.Fatalf("sampling continued after Stop: %d -> %d", got, s.Total())
+	}
+}

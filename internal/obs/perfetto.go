@@ -1,0 +1,198 @@
+package obs
+
+// This file implements Chrome trace-event (Perfetto) export: it merges
+// the raw trace.Recorder event stream with registry counter tracks into
+// the JSON array format understood by ui.perfetto.dev and
+// chrome://tracing. The paper's authors had to write their own
+// visualizer (§4.2) because no standard tool showed per-core scheduling
+// state over time; exporting to the trace-event format gives every run
+// that visualizer for free.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Perfetto track layout. Synthetic pids group tracks into named
+// "processes" in the UI; tids within a pid are individual tracks.
+const (
+	pidCores   = 1 // per-CPU busy/idle slices + decision instants
+	pidRunq    = 2 // per-CPU runqueue depth / load counter tracks
+	pidMetrics = 3 // registry series counter tracks
+)
+
+// pfEvent is one trace-event object. Ts and Dur are microseconds (the
+// format's unit); we emit three decimal places, preserving nanosecond
+// resolution.
+type pfEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type pfFile struct {
+	TraceEvents     []pfEvent `json:"traceEvents"`
+	DisplayTimeUnit string    `json:"displayTimeUnit"`
+}
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// PerfettoOpts tunes WritePerfetto.
+type PerfettoOpts struct {
+	// Cores fixes the number of CPU tracks; 0 infers it from the events.
+	Cores int
+	// MaxSeriesPoints caps counter points emitted per registry series
+	// (0 = unlimited). Long runs at fine cadence can carry millions of
+	// samples; the cap keeps export files loadable by thinning evenly.
+	MaxSeriesPoints int
+}
+
+// WritePerfetto renders events (a trace.Recorder stream, time-ordered)
+// and optional registry series as Chrome trace-event JSON:
+//
+//   - one slice track per CPU showing busy spans (derived from runqueue
+//     size transitions) with instant markers for migrations, forks,
+//     exits and balance verdicts;
+//   - one counter track per CPU for runqueue depth and one for load;
+//   - one counter track per registry series.
+//
+// Events must be in non-decreasing At order (the recorder appends in
+// virtual-time order, so a recorder's Events() slice qualifies).
+func WritePerfetto(w io.Writer, events []trace.Event, series []*Series, opt PerfettoOpts) error {
+	cores := opt.Cores
+	for _, ev := range events {
+		if int(ev.CPU) >= cores {
+			cores = int(ev.CPU) + 1
+		}
+	}
+	var out []pfEvent
+
+	// Track metadata: process and thread names, emitted first so the UI
+	// labels tracks before any data arrives.
+	meta := func(pid, tid int, key, name string) {
+		out = append(out, pfEvent{Name: key, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name}})
+	}
+	meta(pidCores, 0, "process_name", "scheduler cores")
+	meta(pidRunq, 0, "process_name", "runqueues")
+	for c := 0; c < cores; c++ {
+		meta(pidCores, c+1, "thread_name", fmt.Sprintf("cpu %d", c))
+	}
+	if len(series) > 0 {
+		meta(pidMetrics, 0, "process_name", "metrics")
+	}
+
+	// Busy slices: a core is busy while its runqueue size (which counts
+	// the running thread) is non-zero. KindRQSize events carry the new
+	// size in Arg; a 0->n transition opens a slice, n->0 closes it.
+	busySince := make([]int64, cores)
+	busy := make([]bool, cores)
+	var end int64
+	for i := range events {
+		ev := &events[i]
+		at := int64(ev.At)
+		if at > end {
+			end = at
+		}
+		c := int(ev.CPU)
+		switch ev.Kind {
+		case trace.KindRQSize:
+			nowBusy := ev.Arg > 0
+			if nowBusy && !busy[c] {
+				busy[c], busySince[c] = true, at
+			} else if !nowBusy && busy[c] {
+				busy[c] = false
+				out = append(out, pfEvent{Name: "busy", Ph: "X", Cat: "cpu",
+					Ts: usec(busySince[c]), Dur: usec(at - busySince[c]),
+					Pid: pidCores, Tid: c + 1})
+			}
+			out = append(out, pfEvent{Name: fmt.Sprintf("runq depth cpu%02d", c), Ph: "C",
+				Ts: usec(at), Pid: pidRunq, Tid: 0,
+				Args: map[string]any{"threads": ev.Arg}})
+		case trace.KindRQLoad:
+			out = append(out, pfEvent{Name: fmt.Sprintf("runq load cpu%02d", c), Ph: "C",
+				Ts: usec(at), Pid: pidRunq, Tid: 0,
+				Args: map[string]any{"load": ev.Arg}})
+		case trace.KindMigration:
+			out = append(out, pfEvent{Name: fmt.Sprintf("migrate t%d -> cpu%d", ev.Arg, ev.Aux),
+				Ph: "i", S: "t", Cat: "migration", Ts: usec(at), Pid: pidCores, Tid: c + 1})
+		case trace.KindFork:
+			out = append(out, pfEvent{Name: fmt.Sprintf("fork t%d", ev.Arg),
+				Ph: "i", S: "t", Cat: "lifecycle", Ts: usec(at), Pid: pidCores, Tid: c + 1})
+		case trace.KindExit:
+			out = append(out, pfEvent{Name: fmt.Sprintf("exit t%d", ev.Arg),
+				Ph: "i", S: "t", Cat: "lifecycle", Ts: usec(at), Pid: pidCores, Tid: c + 1})
+		case trace.KindBalance:
+			out = append(out, pfEvent{
+				Name: "balance " + trace.Verdict(ev.Code).String(),
+				Ph:   "i", S: "t", Cat: "balance", Ts: usec(at), Pid: pidCores, Tid: c + 1,
+				Args: map[string]any{"op": ev.Op.String(), "local": ev.Arg, "busiest": ev.Aux}})
+		}
+	}
+	// Close still-open busy slices at the last event time so the UI
+	// doesn't show cores vanishing mid-run.
+	for c := 0; c < cores; c++ {
+		if busy[c] && end > busySince[c] {
+			out = append(out, pfEvent{Name: "busy", Ph: "X", Cat: "cpu",
+				Ts: usec(busySince[c]), Dur: usec(end - busySince[c]),
+				Pid: pidCores, Tid: c + 1})
+		}
+	}
+
+	// Registry series become counter tracks under the metrics process.
+	var buf []Sample
+	for _, s := range series {
+		buf = s.Samples(buf[:0])
+		if len(buf) == 0 {
+			continue
+		}
+		stride := 1
+		if opt.MaxSeriesPoints > 0 && len(buf) > opt.MaxSeriesPoints {
+			stride = (len(buf) + opt.MaxSeriesPoints - 1) / opt.MaxSeriesPoints
+		}
+		name := s.Name
+		if s.CPU >= 0 {
+			name = fmt.Sprintf("%s cpu%02d", s.Name, s.CPU)
+		}
+		for i := 0; i < len(buf); i += stride {
+			out = append(out, pfEvent{Name: name, Ph: "C",
+				Ts: usec(int64(buf[i].At)), Pid: pidMetrics, Tid: 0,
+				Args: map[string]any{"value": buf[i].V}})
+		}
+	}
+
+	// The format wants monotonic ts per track; slices were appended at
+	// close time (end-ordered), so re-sort by (pid, tid, ts) with a
+	// stable sort to keep same-timestamp order deterministic.
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		if a.Ph == "M" || b.Ph == "M" { // metadata first within a track
+			return a.Ph == "M" && b.Ph != "M"
+		}
+		return a.Ts < b.Ts
+	})
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(pfFile{TraceEvents: out, DisplayTimeUnit: "ns"}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

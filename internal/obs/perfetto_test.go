@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// pfCheck is the decoded shape used by the schema test.
+type pfCheck struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func syntheticEvents() []trace.Event {
+	ms := func(n int64) sim.Time { return sim.Time(n) * sim.Millisecond }
+	return []trace.Event{
+		{At: ms(1), Kind: trace.KindRQSize, CPU: 0, Arg: 1},
+		{At: ms(1), Kind: trace.KindRQLoad, CPU: 0, Arg: 1024},
+		{At: ms(2), Kind: trace.KindRQSize, CPU: 1, Arg: 2},
+		{At: ms(3), Kind: trace.KindMigration, CPU: 0, Arg: 7, Aux: 1},
+		{At: ms(4), Kind: trace.KindBalance, Op: trace.OpPeriodicBalance,
+			Code: uint8(trace.VerdictBalanced), CPU: 1, Arg: 100, Aux: 200},
+		{At: ms(5), Kind: trace.KindRQSize, CPU: 0, Arg: 0},
+		{At: ms(6), Kind: trace.KindFork, CPU: 1, Arg: 9},
+		{At: ms(8), Kind: trace.KindRQSize, CPU: 1, Arg: 0},
+	}
+}
+
+// TestPerfettoSchema validates the export against the trace-event
+// format: required keys, known phase types, non-negative durations, and
+// monotonically non-decreasing timestamps per (pid, tid) track.
+func TestPerfettoSchema(t *testing.T) {
+	eng := sim.New(1)
+	reg := NewRegistry(eng, Options{Cadence: sim.Millisecond})
+	reg.Sampled("sched/runq", 0, KindGauge, func() int64 { return int64(eng.Now() / sim.Millisecond) })
+	reg.Start()
+	eng.RunUntil(8 * sim.Millisecond)
+
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, syntheticEvents(), reg.Series(), PerfettoOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	var f pfCheck
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	var sawSlice, sawDepth, sawSeries, sawInstant bool
+	lastTs := map[[2]int]float64{}
+	for i, ev := range f.TraceEvents {
+		if ev.Name == "" {
+			t.Fatalf("event %d has no name", i)
+		}
+		switch ev.Ph {
+		case "X":
+			sawSlice = true
+			if ev.Dur < 0 {
+				t.Fatalf("event %d: negative dur %v", i, ev.Dur)
+			}
+		case "C":
+			if _, ok := ev.Args["threads"]; ok && ev.Name[:10] == "runq depth" {
+				sawDepth = true
+			}
+			if _, ok := ev.Args["value"]; ok {
+				sawSeries = true
+			}
+		case "i":
+			sawInstant = true
+		case "M":
+			continue // metadata is unordered
+		default:
+			t.Fatalf("event %d: unknown phase %q", i, ev.Ph)
+		}
+		key := [2]int{ev.Pid, ev.Tid}
+		if ev.Ts < lastTs[key] {
+			t.Fatalf("event %d (%s): ts %v < previous %v on track %v — not monotonic",
+				i, ev.Name, ev.Ts, lastTs[key], key)
+		}
+		lastTs[key] = ev.Ts
+	}
+	if !sawSlice || !sawDepth || !sawSeries || !sawInstant {
+		t.Fatalf("missing track types: slice=%v depth=%v series=%v instant=%v",
+			sawSlice, sawDepth, sawSeries, sawInstant)
+	}
+}
+
+func TestPerfettoSeriesThinning(t *testing.T) {
+	eng := sim.New(1)
+	reg := NewRegistry(eng, Options{Cadence: sim.Millisecond, RingCap: 100})
+	reg.Start()
+	eng.RunUntil(100 * sim.Millisecond)
+
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, nil, reg.Series(), PerfettoOpts{Cores: 1, MaxSeriesPoints: 10}); err != nil {
+		t.Fatal(err)
+	}
+	var f pfCheck
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	perName := map[string]int{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "C" {
+			perName[ev.Name]++
+		}
+	}
+	for name, n := range perName {
+		if n > 10 {
+			t.Fatalf("series %q emitted %d points, cap 10", name, n)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package obs
+
+// Wall-clock harness telemetry for long campaign/bisect sweeps: live
+// scenario and event throughput, ETA, a rate-limited progress line and
+// an optional expvar HTTP endpoint. Everything here is wall-clock and
+// therefore strictly forbidden from artifacts — the campaign's
+// byte-determinism contract is that artifact bytes depend only on
+// scenarios and options, never on how fast the host ran them. Telemetry
+// reports to stderr and HTTP only.
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Telemetry tracks a sweep's wall-clock progress. All methods are safe
+// for concurrent use: results arrive from worker goroutines.
+type Telemetry struct {
+	total   int
+	workers int
+	start   time.Time
+
+	done      atomic.Int64
+	events    atomic.Uint64
+	lastPrint atomic.Int64 // unix nanos of the last MaybeLine hit
+}
+
+// NewTelemetry starts tracking a sweep of total scenarios on workers
+// workers. The clock starts now.
+func NewTelemetry(total, workers int) *Telemetry {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Telemetry{total: total, workers: workers, start: time.Now()}
+}
+
+// Observe records one finished scenario that processed events
+// simulation events. Call it from RunnerOpts.OnResult.
+func (t *Telemetry) Observe(events uint64) {
+	t.done.Add(1)
+	t.events.Add(events)
+}
+
+// Done reports scenarios finished so far.
+func (t *Telemetry) Done() int { return int(t.done.Load()) }
+
+// Snapshot of derived rates, used by both Line and the expvar endpoint.
+type TelemetryStats struct {
+	ScenariosTotal  int     `json:"scenarios_total"`
+	ScenariosDone   int     `json:"scenarios_done"`
+	Workers         int     `json:"workers"`
+	ElapsedSec      float64 `json:"elapsed_sec"`
+	ScenariosPerSec float64 `json:"scenarios_per_sec"`
+	PerWorkerPerSec float64 `json:"per_worker_per_sec"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	EtaSec          float64 `json:"eta_sec"`
+}
+
+// Stats derives the current rates.
+func (t *Telemetry) Stats() TelemetryStats {
+	elapsed := time.Since(t.start).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	done := int(t.done.Load())
+	s := TelemetryStats{
+		ScenariosTotal:  t.total,
+		ScenariosDone:   done,
+		Workers:         t.workers,
+		ElapsedSec:      elapsed,
+		ScenariosPerSec: float64(done) / elapsed,
+		EventsPerSec:    float64(t.events.Load()) / elapsed,
+	}
+	s.PerWorkerPerSec = s.ScenariosPerSec / float64(t.workers)
+	if done > 0 && t.total > done {
+		s.EtaSec = float64(t.total-done) / s.ScenariosPerSec
+	}
+	return s
+}
+
+// Line renders a one-line progress report:
+//
+//	12/48 scenarios, 3.1/s (0.39/s/worker), 41.2M events/s, ETA 12s
+func (t *Telemetry) Line() string {
+	s := t.Stats()
+	line := fmt.Sprintf("%d/%d scenarios, %.1f/s (%.2f/s/worker), %s events/s",
+		s.ScenariosDone, s.ScenariosTotal, s.ScenariosPerSec, s.PerWorkerPerSec,
+		siRate(s.EventsPerSec))
+	if s.EtaSec > 0 {
+		line += fmt.Sprintf(", ETA %s", time.Duration(s.EtaSec*float64(time.Second)).Round(time.Second))
+	}
+	return line
+}
+
+func siRate(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// MaybeLine returns a progress line at most once per second — the rate
+// limit that keeps a fast sweep from flooding stderr.
+func (t *Telemetry) MaybeLine() (string, bool) {
+	now := time.Now().UnixNano()
+	last := t.lastPrint.Load()
+	if now-last < int64(time.Second) {
+		return "", false
+	}
+	if !t.lastPrint.CompareAndSwap(last, now) {
+		return "", false
+	}
+	return t.Line(), true
+}
+
+// published routes the process-wide expvar variable to the most recently
+// served Telemetry: expvar registration is global and permanent, so the
+// variable is registered once and reads through this pointer.
+var published atomic.Pointer[Telemetry]
+
+var ensured atomic.Bool
+
+func ensurePublished() {
+	if !ensured.CompareAndSwap(false, true) {
+		return
+	}
+	expvar.Publish("campaign", expvar.Func(func() any {
+		if t := published.Load(); t != nil {
+			return t.Stats()
+		}
+		return nil
+	}))
+}
+
+// Serve exposes the telemetry on an HTTP endpoint (expvar's standard
+// /debug/vars, variable "campaign"). It returns the bound address —
+// pass ":0" to pick a free port — and a stop function that closes the
+// listener. Artifacts never see any of this.
+func (t *Telemetry) Serve(addr string) (boundAddr string, stop func() error, err error) {
+	ensurePublished()
+	published.Store(t)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: %w", err)
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() error { return srv.Close() }, nil
+}

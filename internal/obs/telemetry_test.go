@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestTelemetryStats(t *testing.T) {
+	tel := NewTelemetry(10, 4)
+	for i := 0; i < 3; i++ {
+		tel.Observe(1000)
+	}
+	s := tel.Stats()
+	if s.ScenariosDone != 3 || s.ScenariosTotal != 10 || s.Workers != 4 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.ScenariosPerSec <= 0 || s.EventsPerSec <= 0 || s.EtaSec <= 0 {
+		t.Fatalf("rates not derived: %+v", s)
+	}
+	if got := s.PerWorkerPerSec * 4; got < s.ScenariosPerSec*0.99 || got > s.ScenariosPerSec*1.01 {
+		t.Fatalf("per-worker rate inconsistent: %+v", s)
+	}
+	line := tel.Line()
+	if !strings.Contains(line, "3/10 scenarios") || !strings.Contains(line, "ETA") {
+		t.Fatalf("line = %q", line)
+	}
+}
+
+func TestTelemetryMaybeLineRateLimits(t *testing.T) {
+	tel := NewTelemetry(2, 1)
+	tel.Observe(1)
+	if _, ok := tel.MaybeLine(); !ok {
+		t.Fatal("first MaybeLine suppressed")
+	}
+	if _, ok := tel.MaybeLine(); ok {
+		t.Fatal("second MaybeLine within 1s not suppressed")
+	}
+}
+
+func TestTelemetryServe(t *testing.T) {
+	tel := NewTelemetry(5, 2)
+	tel.Observe(123)
+	addr, stop, err := tel.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	raw, ok := vars["campaign"]
+	if !ok {
+		t.Fatalf("no campaign variable in /debug/vars: %s", body)
+	}
+	var s TelemetryStats
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.ScenariosDone != 1 || s.ScenariosTotal != 5 {
+		t.Fatalf("served stats %+v", s)
+	}
+}

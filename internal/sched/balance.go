@@ -353,6 +353,9 @@ func (s *Scheduler) loadBalance(c *CPU, d *Domain, level int, op trace.Op) int {
 // compared — the §4.1 profiling data ("the values of the variables they
 // use") that explains why a balance call moved nothing.
 func (s *Scheduler) traceBalance(c *CPU, op trace.Op, v trace.Verdict, local, busiest *groupStats, moved int) {
+	if s.mx != nil {
+		s.mx.observeBalance(s, v, local, busiest)
+	}
 	if s.rec == nil || !s.rec.Active() {
 		return
 	}

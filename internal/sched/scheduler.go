@@ -69,6 +69,7 @@ type Scheduler struct {
 	rec      *trace.Recorder
 	policy   PlacementPolicy
 	latProbe LatencyProbe
+	mx       *Metrics // observability hooks (nil = disabled, see AttachObs)
 
 	// Idle cores form an intrusive doubly-linked list through the CPU
 	// structs, ordered by idleSince ascending (head = longest idle, the

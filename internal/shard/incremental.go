@@ -104,6 +104,11 @@ func staleCampaign(prior *campaign.Campaign, opts campaign.RunnerOpts) string {
 		return fmt.Sprintf("streak threshold K=%d, this run K=%d", prior.StreakK, opts.EffectiveStreakK())
 	case prior.Trace != opts.Trace:
 		return fmt.Sprintf("trace=%v, this run %v", prior.Trace, opts.Trace)
+	case prior.Metrics != opts.Metrics:
+		return fmt.Sprintf("metrics=%v, this run %v", prior.Metrics, opts.Metrics)
+	case opts.Metrics && prior.MetricsCadenceNs != int64(opts.EffectiveMetricsCadence()):
+		return fmt.Sprintf("metrics cadence %dns, this run %dns",
+			prior.MetricsCadenceNs, int64(opts.EffectiveMetricsCadence()))
 	}
 	return ""
 }

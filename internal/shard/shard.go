@@ -92,7 +92,7 @@ func (s Spec) Select(scenarios []campaign.Scenario) ([]campaign.Scenario, error)
 // artifact is byte-identical to the one a single process running the
 // whole scenario list would have produced, provided the parts really are
 // a partition of one run: same base seed, model version, checker lens,
-// streak threshold and trace setting (verified here) and disjoint keys
+// streak threshold, trace and metrics settings (verified here) and disjoint keys
 // (verified here). The model-version stamp is what approximates the
 // "same binary" requirement: two processes at the same stamp are
 // declared metric-compatible, a discipline enforced by bumping
@@ -107,13 +107,15 @@ func Merge(parts ...*campaign.Campaign) (*campaign.Campaign, error) {
 	}
 	first := parts[0]
 	merged := &campaign.Campaign{
-		Version:      first.Version,
-		ModelVersion: first.ModelVersion,
-		BaseSeed:     first.BaseSeed,
-		CheckerSNs:   first.CheckerSNs,
-		CheckerMNs:   first.CheckerMNs,
-		Trace:        first.Trace,
-		StreakK:      first.StreakK,
+		Version:          first.Version,
+		ModelVersion:     first.ModelVersion,
+		BaseSeed:         first.BaseSeed,
+		CheckerSNs:       first.CheckerSNs,
+		CheckerMNs:       first.CheckerMNs,
+		Trace:            first.Trace,
+		StreakK:          first.StreakK,
+		Metrics:          first.Metrics,
+		MetricsCadenceNs: first.MetricsCadenceNs,
 	}
 	scaleSet := false
 	for i, p := range parts {
@@ -136,6 +138,9 @@ func Merge(parts ...*campaign.Campaign) (*campaign.Campaign, error) {
 		case p.Trace != merged.Trace:
 			return nil, fmt.Errorf("shard: part %d has trace=%v, others %v — not shards of one run",
 				i, p.Trace, merged.Trace)
+		case p.Metrics != merged.Metrics || p.MetricsCadenceNs != merged.MetricsCadenceNs:
+			return nil, fmt.Errorf("shard: part %d has metrics=%v cadence=%dns, others metrics=%v cadence=%dns — not shards of one run",
+				i, p.Metrics, p.MetricsCadenceNs, merged.Metrics, merged.MetricsCadenceNs)
 		}
 		if len(p.Results) > 0 {
 			if !scaleSet {

@@ -102,6 +102,7 @@ type Engine struct {
 	free      []*Event // recycled one-shot events
 	rng       *rand.Rand
 	processed uint64
+	maxHeap   int
 }
 
 // New returns an Engine whose random source is seeded with seed.
@@ -122,6 +123,12 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // cancelled events that have not yet been popped).
 func (e *Engine) Pending() int { return len(e.heap) }
 
+// PendingHighWater reports the largest pending-event count ever reached —
+// the event heap's high-water mark, a health signal for the
+// observability layer (a runaway heap means a workload is scheduling
+// faster than it retires).
+func (e *Engine) PendingHighWater() int { return e.maxHeap }
+
 // --- event heap ---------------------------------------------------------
 //
 // A hand-rolled 4-ary min-heap over (when, seq). container/heap would
@@ -141,6 +148,9 @@ func eventLess(a, b *Event) bool {
 func (e *Engine) heapPush(ev *Event) {
 	ev.index = int32(len(e.heap))
 	e.heap = append(e.heap, ev)
+	if len(e.heap) > e.maxHeap {
+		e.maxHeap = len(e.heap)
+	}
 	e.siftUp(int(ev.index))
 }
 

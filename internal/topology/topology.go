@@ -9,6 +9,8 @@ package topology
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/trace"
 )
 
 // CoreID identifies a logical CPU.
@@ -57,6 +59,10 @@ func New(spec Spec) (*Topology, error) {
 	}
 	if spec.SMT && spec.CoresPerNode%2 != 0 {
 		return nil, fmt.Errorf("topology: SMT requires an even number of cores per node, got %d", spec.CoresPerNode)
+	}
+	if total := spec.NumNodes * spec.CoresPerNode; total > trace.MaskBits {
+		return nil, fmt.Errorf("topology: %d cores exceed the %d-CPU limit of the core bitsets (trace.Mask, sched.CPUSet) — widen them before modeling larger machines",
+			total, trace.MaskBits)
 	}
 	n := spec.NumNodes
 	t := &Topology{

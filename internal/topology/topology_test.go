@@ -191,3 +191,31 @@ func TestGrid(t *testing.T) {
 		t.Fatalf("corner degree = %d", got)
 	}
 }
+
+// TestNewRejectsOversizedMachine: specs beyond the 128-CPU core-bitset
+// limit must be refused up front rather than corrupting trace masks.
+func TestNewRejectsOversizedMachine(t *testing.T) {
+	spec := Spec{
+		Name:         "toolarge",
+		NumNodes:     3,
+		CoresPerNode: 64,
+		Adjacency:    [][2]NodeID{{0, 1}, {1, 2}},
+		ClockGHz:     2.0,
+	}
+	if _, err := New(spec); err == nil {
+		t.Fatal("expected error for 192-core spec")
+	} else if !strings.Contains(err.Error(), "128-CPU limit") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	// 128 exactly is still allowed.
+	ok := Spec{
+		Name:         "full",
+		NumNodes:     2,
+		CoresPerNode: 64,
+		Adjacency:    [][2]NodeID{{0, 1}},
+		ClockGHz:     2.0,
+	}
+	if _, err := New(ok); err != nil {
+		t.Fatalf("128-core spec rejected: %v", err)
+	}
+}

@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// randomEvents generates n events with every field exercised across its
+// valid range, deterministically from seed.
+func randomEvents(seed int64, n int) []Event {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []Kind{KindRQSize, KindRQLoad, KindConsidered, KindMigration, KindFork, KindExit, KindBalance}
+	ops := []Op{OpNone, OpPeriodicBalance, OpNewIdleBalance, OpNohzBalance, OpWakeup, OpFork}
+	at := sim.Time(0)
+	out := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		at += sim.Time(rng.Int63n(int64(sim.Millisecond)))
+		ev := Event{
+			At:   at,
+			Kind: kinds[rng.Intn(len(kinds))],
+			Op:   ops[rng.Intn(len(ops))],
+			Code: uint8(rng.Intn(5)),
+			CPU:  int32(rng.Intn(MaskBits)),
+			Arg:  rng.Int63() - rng.Int63(),
+			Aux:  rng.Int63() - rng.Int63(),
+		}
+		for b := 0; b < rng.Intn(4); b++ {
+			ev.Mask.Set(rng.Intn(MaskBits))
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// TestBinaryRoundTripProperty: WriteTo -> ReadMeta must reproduce every
+// event bit for bit, plus the dropped count, across many random event
+// populations.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		events := randomEvents(seed, 200)
+		rec := NewRecorder(len(events))
+		rec.Start()
+		for _, ev := range events {
+			rec.Record(ev)
+		}
+		// Overflow by three to give the file a dropped count.
+		for i := 0; i < 3; i++ {
+			rec.Record(Event{At: events[len(events)-1].At + 1})
+		}
+		var buf bytes.Buffer
+		n, err := rec.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("seed %d: WriteTo reported %d bytes, wrote %d", seed, n, buf.Len())
+		}
+		got, meta, err := ReadMeta(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meta.Version != fileVersion || meta.Dropped != 3 {
+			t.Fatalf("seed %d: meta %+v, want version %d dropped 3", seed, meta, fileVersion)
+		}
+		if len(got) != len(events) {
+			t.Fatalf("seed %d: %d events back, wrote %d", seed, len(got), len(events))
+		}
+		for i := range got {
+			if got[i] != events[i] {
+				t.Fatalf("seed %d event %d: got %+v, want %+v", seed, i, got[i], events[i])
+			}
+		}
+	}
+}
+
+// TestReadAcceptsV1 ensures the reader still parses the 16-byte-header
+// format written before the dropped count existed.
+func TestReadAcceptsV1(t *testing.T) {
+	events := randomEvents(99, 50)
+	rec := NewRecorder(len(events))
+	rec.Start()
+	for _, ev := range events {
+		rec.Record(ev)
+	}
+	var v2 bytes.Buffer
+	if _, err := rec.WriteTo(&v2); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite as v1: drop the 8-byte dropped field and stamp version 1.
+	raw := v2.Bytes()
+	v1 := append([]byte{}, raw[:16]...)
+	v1[4], v1[5] = 1, 0
+	v1 = append(v1, raw[24:]...)
+
+	got, meta, err := ReadMeta(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Version != 1 || meta.Dropped != 0 {
+		t.Fatalf("meta %+v, want version 1 dropped 0", meta)
+	}
+	if len(got) != len(events) || got[0] != events[0] || got[len(got)-1] != events[len(events)-1] {
+		t.Fatalf("v1 payload mismatch: %d events", len(got))
+	}
+}
+
+// jsonLine mirrors the WriteJSON line shape for decoding.
+type jsonLine struct {
+	At   int64    `json:"at"`
+	Kind string   `json:"kind"`
+	Op   string   `json:"op"`
+	Code uint8    `json:"code"`
+	CPU  int32    `json:"cpu"`
+	Arg  int64    `json:"arg"`
+	Aux  int64    `json:"aux"`
+	Mask []uint64 `json:"mask"`
+}
+
+// TestJSONRoundTripProperty: every WriteJSON line must decode back to
+// the source event (string enums mapped through String()).
+func TestJSONRoundTripProperty(t *testing.T) {
+	events := randomEvents(7, 300)
+	rec := NewRecorder(len(events))
+	rec.Start()
+	for _, ev := range events {
+		rec.Record(ev)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	i := 0
+	for sc.Scan() {
+		var l jsonLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		want := events[i]
+		if l.At != int64(want.At) || l.Kind != want.Kind.String() || l.CPU != want.CPU ||
+			l.Arg != want.Arg || l.Aux != want.Aux || l.Code != want.Code {
+			t.Fatalf("line %d: %+v != %+v", i, l, want)
+		}
+		wantOp := ""
+		if want.Op != OpNone {
+			wantOp = want.Op.String()
+		}
+		if l.Op != wantOp {
+			t.Fatalf("line %d: op %q, want %q", i, l.Op, wantOp)
+		}
+		if want.Mask != (Mask{}) {
+			if len(l.Mask) != 2 || l.Mask[0] != want.Mask[0] || l.Mask[1] != want.Mask[1] {
+				t.Fatalf("line %d: mask %v, want %v", i, l.Mask, want.Mask)
+			}
+		} else if len(l.Mask) != 0 {
+			t.Fatalf("line %d: unexpected mask %v", i, l.Mask)
+		}
+		i++
+	}
+	if i != len(events) {
+		t.Fatalf("decoded %d lines, wrote %d events", i, len(events))
+	}
+}
+
+// TestMaskSetGuard is the regression test for the 128-CPU limit: out of
+// range bits must panic with a readable message instead of silently
+// aliasing modulo the mask width.
+func TestMaskSetGuard(t *testing.T) {
+	var m Mask
+	for _, c := range []int{0, 63, 64, MaskBits - 1} {
+		m.Set(c)
+		if !m.Has(c) {
+			t.Fatalf("bit %d not set", c)
+		}
+	}
+	for _, c := range []int{-1, MaskBits, MaskBits + 63, 1 << 20} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("Set(%d) did not panic", c)
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "out of Mask range") {
+					t.Fatalf("Set(%d) panicked with %v, want a clear range message", c, r)
+				}
+			}()
+			m.Set(c)
+		}()
+	}
+}
+
+// FuzzReadBinary: Read must never panic on arbitrary input — it either
+// parses or returns an error.
+func FuzzReadBinary(f *testing.F) {
+	events := randomEvents(3, 8)
+	rec := NewRecorder(len(events))
+	rec.Start()
+	for _, ev := range events {
+		rec.Record(ev)
+	}
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:20])
+	f.Add([]byte("WCTR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = ReadMeta(bytes.NewReader(data))
+	})
+}

@@ -153,8 +153,20 @@ func (o Op) String() string {
 // (the paper's machine has 64).
 type Mask [2]uint64
 
-// Set sets bit c.
-func (m *Mask) Set(c int) { m[c>>6] |= 1 << (c & 63) }
+// MaskBits is the number of cores a Mask can represent. Topologies are
+// validated against this limit at construction (topology.New), so the
+// panic in Set is a second line of defense with a readable message
+// rather than the expected failure mode.
+const MaskBits = 128
+
+// Set sets bit c. It panics when c is outside [0, MaskBits): a wider
+// machine would silently alias cores modulo the mask width otherwise.
+func (m *Mask) Set(c int) {
+	if c < 0 || c >= MaskBits {
+		panic(fmt.Sprintf("trace: cpu %d out of Mask range [0,%d) — widen trace.Mask for larger machines", c, MaskBits))
+	}
+	m[c>>6] |= 1 << (c & 63)
+}
 
 // Has reports whether bit c is set.
 func (m Mask) Has(c int) bool { return m[c>>6]&(1<<(c&63)) != 0 }
