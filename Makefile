@@ -89,12 +89,17 @@ campaign:
 bisect:
 	$(GO) run ./cmd/bisect -preset default -out bisect.json
 
-# The CI lattice: 32 scenarios under the race detector, gated against
+# The CI lattice: 48 scenarios under the race detector, gated against
 # the committed rolling baseline ("exit status 3" in the output = a
-# per-scenario regression, written to bisect-smoke-diff.txt).
+# per-scenario regression, written to bisect-smoke-diff.txt). The second
+# run repeats the sweep through the sequential runner and cmp asserts
+# the forked runner's artifact is byte-identical to it — the
+# checkpoint/fork equivalence contract, enforced on every push.
 bisect-smoke:
 	$(GO) run -race ./cmd/bisect -preset smoke -q -out bisect-smoke.json \
 		-baseline baselines/bisect-smoke.json -diff-out bisect-smoke-diff.txt
+	$(GO) run -race ./cmd/bisect -preset smoke -q -no-fork -out bisect-smoke-nofork.json
+	cmp bisect-smoke.json bisect-smoke-nofork.json
 
 # The CI campaign: the 8-scenario smoke matrix, gated the same way.
 campaign-smoke:

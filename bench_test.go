@@ -13,8 +13,10 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	schedsim "repro"
+	"repro/internal/bisect"
 	"repro/internal/checker"
 	"repro/internal/experiments"
 	"repro/internal/machine"
@@ -158,6 +160,44 @@ func BenchmarkCampaign(b *testing.B) {
 			// that keeps the obs-disabled hot path allocation-free.
 			b.ReportMetric(float64(events), "events/op")
 		})
+	}
+}
+
+// BenchmarkCampaignBisectFork measures the checkpoint/fork win on the
+// bisect lattice: the smoke sweep run through the forked runner (shared
+// per-cell prefix simulated once, one fork per lattice point, prove
+// collapse for equivalent configs) versus the sequential runner that
+// simulates every scenario from t=0. Both paths produce byte-identical
+// artifacts (asserted in internal/bisect's tests and by `make
+// bisect-smoke`); this benchmark records the wall-clock ratio. It
+// deliberately reports no events/op — the fork path trades allocations
+// for wall time, so the allocation-free gate applies only to the
+// sequential engine benchmarks.
+func BenchmarkCampaignBisectFork(b *testing.B) {
+	var forkSec, seqSec float64
+	var scenarios int
+	for i := 0; i < b.N; i++ {
+		for _, noFork := range []bool{false, true} {
+			o := bisect.SmokeOptions()
+			o.BaseSeed = 42
+			o.NoFork = noFork
+			start := time.Now()
+			r, err := bisect.Run(o)
+			elapsed := time.Since(start).Seconds()
+			if err != nil {
+				b.Fatal(err)
+			}
+			scenarios = len(r.Campaign.Results)
+			if noFork {
+				seqSec += elapsed
+			} else {
+				forkSec += elapsed
+			}
+		}
+	}
+	if forkSec > 0 {
+		b.ReportMetric(seqSec/forkSec, "fork_speedup_x")
+		b.ReportMetric(float64(scenarios*b.N)/forkSec, "scenarios/s")
 	}
 }
 

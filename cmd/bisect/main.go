@@ -61,6 +61,10 @@
 //	                 unaffected); open the file at ui.perfetto.dev
 //	-trace-key key   scenario to export (default: first key)
 //	-telemetry-addr a  serve live progress as expvar on this address
+//	-no-fork         simulate every lattice point from scratch instead
+//	                 of forking each cell's shared prefix (the escape
+//	                 hatch for validating the fork runner: both paths
+//	                 must produce byte-identical artifacts)
 //	-q               suppress the verdict summary
 //
 // Exit codes: 0 on success, 1 on runtime/IO errors, 2 on usage errors,
@@ -111,6 +115,7 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "export one scenario as Perfetto JSON to this file")
 		traceKey    = flag.String("trace-key", "", "scenario key to export with -trace-out (default: first)")
 		telemetry   = flag.String("telemetry-addr", "", "serve live expvar progress on this address")
+		noFork      = flag.Bool("no-fork", false, "simulate every lattice point from scratch (bypass the checkpoint/fork runner)")
 		quiet       = flag.Bool("q", false, "suppress the verdict summary")
 	)
 	flag.Parse()
@@ -140,6 +145,7 @@ func main() {
 		o.LatencyTolerancePct = *latTol
 	}
 	o.StreakK = *streakK
+	o.NoFork = *noFork
 	opts := campaign.RunnerOpts{Workers: o.Workers, BaseSeed: o.BaseSeed, Checker: o.Checker, StreakK: o.StreakK}
 
 	// Wall-clock telemetry: progress lines on stderr plus an optional

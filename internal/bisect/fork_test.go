@@ -1,0 +1,47 @@
+package bisect
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestForkedMatchesSequential is the tentpole's correctness gate: the
+// checkpoint/fork runner must produce byte-for-byte the artifact of the
+// sequential runner on the smoke sweep — every lattice point, whether it
+// was simulated on a fork or collapsed from a never-fired-probe run,
+// carries exactly the bytes a from-scratch simulation produces.
+func TestForkedMatchesSequential(t *testing.T) {
+	seq := smokeWithSeed()
+	seq.NoFork = true
+	rs, err := Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forked := smokeWithSeed()
+	rf, err := Run(forked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := rs.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rf.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		for i := range rs.Campaign.Results {
+			sr, fr := rs.Campaign.Results[i], rf.Campaign.Results[i]
+			if sr.Key != fr.Key || sr.MakespanNs != fr.MakespanNs ||
+				sr.Events != fr.Events || sr.Counters != fr.Counters ||
+				sr.Violations != fr.Violations {
+				t.Errorf("first diverging result %q:\n seq: events=%d makespan=%d violations=%d\nfork: events=%d makespan=%d violations=%d",
+					sr.Key, sr.Events, sr.MakespanNs, sr.Violations,
+					fr.Events, fr.MakespanNs, fr.Violations)
+				break
+			}
+		}
+		t.Fatal("forked sweep bytes differ from sequential sweep")
+	}
+}

@@ -57,7 +57,7 @@ const Version = 1
 // cached prior results stale instead of silently splicing numbers from
 // an older model — the "same-binary assumption" the shard package
 // cannot otherwise verify.
-const ModelVersion = "4-latency"
+const ModelVersion = "5-fork"
 
 // Result is one scenario's collected metrics. All fields are derived
 // from virtual time and deterministic counters — never wall-clock — so

@@ -66,11 +66,10 @@ func joinLines(keys []string) string {
 // always-on recording and metrics sampling change per-run event counts,
 // so folding them into the campaign would make artifact bytes depend on
 // an export flag. The side run derives the same engine seed from the
-// same (BaseSeed, key, seed) triple, so its timeline is the campaign
+// same (BaseSeed, cell, seed) triple, so its timeline is the campaign
 // scenario's timeline, not an approximation of it.
 func ExportPerfetto(sc Scenario, opts RunnerOpts, w io.Writer) (TraceExport, error) {
-	key := sc.Key()
-	engineSeed := DeriveSeed(opts.BaseSeed, key, sc.Seed)
+	engineSeed := DeriveSeed(opts.BaseSeed, sc.CellKey(), sc.Seed)
 	topo := sc.Topology.Build()
 	m := machine.New(topo, sc.Config.Config, engineSeed)
 
@@ -117,7 +116,7 @@ func ExportPerfetto(sc Scenario, opts RunnerOpts, w io.Writer) (TraceExport, err
 		Horizon: sc.Horizon,
 	})
 
-	exp := TraceExport{Key: key, Events: rec.Len(), Dropped: rec.Dropped()}
+	exp := TraceExport{Key: sc.Key(), Events: rec.Len(), Dropped: rec.Dropped()}
 	err := obs.WritePerfetto(w, rec.Events(), reg.Series(), obs.PerfettoOpts{
 		Cores:           topo.NumCores(),
 		MaxSeriesPoints: 4096,

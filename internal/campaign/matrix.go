@@ -60,6 +60,16 @@ func (s Scenario) Key() string {
 	return fmt.Sprintf("%s/%s/%s/s%d", s.Topology.Name, s.Workload.Name, s.Config.Name, s.Seed)
 }
 
+// CellKey is the scenario's identity with the config dimension removed:
+// the (topology, workload, seed) cell it belongs to. Engine seeds derive
+// from the cell, not the full key, so every config of a cell sees the
+// same jitter stream — the property that makes lattice runs of one cell
+// comparable point-for-point, and that lets the forked bisect runner
+// share one simulation prefix across the cell's 16 configs.
+func (s Scenario) CellKey() string {
+	return fmt.Sprintf("%s/%s/s%d", s.Topology.Name, s.Workload.Name, s.Seed)
+}
+
 func (m Matrix) withDefaults() Matrix {
 	if m.Scale == 0 {
 		m.Scale = 1

@@ -224,8 +224,11 @@ func ForEach[T any](n, workers int, job func(i int) T) []T {
 // checker (and optional placement modules / trace recorder), run the
 // workload, and collect every deterministic metric.
 func runScenario(sc Scenario, opts RunnerOpts) Result {
-	key := sc.Key()
-	engineSeed := DeriveSeed(opts.BaseSeed, key, sc.Seed)
+	// Seeds derive from the cell key (config removed): all configs of a
+	// (topology, workload, seed) cell share one jitter stream, so lattice
+	// points differ only by scheduler behaviour — and the forked lattice
+	// runner can share one t=0 world across the cell.
+	engineSeed := DeriveSeed(opts.BaseSeed, sc.CellKey(), sc.Seed)
 	topo := sc.Topology.Build()
 	m := machine.New(topo, sc.Config.Config, engineSeed)
 
@@ -269,6 +272,22 @@ func runScenario(sc Scenario, opts RunnerOpts) Result {
 		Horizon: sc.Horizon,
 	})
 
+	r := collectResult(sc, engineSeed, m, ck, col, outcome)
+	if rec != nil {
+		r.TraceEvents = rec.Len()
+		r.TraceDropped = rec.Dropped()
+	}
+	if reg != nil {
+		r.Metrics = reg.Snapshot()
+	}
+	return r
+}
+
+// collectResult assembles the deterministic per-scenario metrics into a
+// Result — the tail of runScenario, shared with the forked lattice
+// runner so both paths produce identical bytes from identical state.
+func collectResult(sc Scenario, engineSeed int64, m *machine.Machine,
+	ck *checker.Checker, col *latency.Collector, outcome Outcome) Result {
 	var idleOverloaded sim.Time
 	var classes map[string]int
 	var idleByClass map[string]int64
@@ -283,8 +302,8 @@ func runScenario(sc Scenario, opts RunnerOpts) Result {
 			idleOverloaded += d
 		}
 	}
-	r := Result{
-		Key:                   key,
+	return Result{
+		Key:                   sc.Key(),
 		Topology:              sc.Topology.Name,
 		Workload:              sc.Workload.Name,
 		Config:                sc.Config.Name,
@@ -306,12 +325,4 @@ func runScenario(sc Scenario, opts RunnerOpts) Result {
 		WakeStreaks:           col.StreakStats(),
 		Extra:                 outcome.Extra,
 	}
-	if rec != nil {
-		r.TraceEvents = rec.Len()
-		r.TraceDropped = rec.Dropped()
-	}
-	if reg != nil {
-		r.Metrics = reg.Snapshot()
-	}
-	return r
 }

@@ -135,6 +135,36 @@ func (c *Checker) Start() {
 	c.tm.ResetAfter(c.cfg.S)
 }
 
+// Clone copies the checker onto a forked world: s must be the cloned
+// scheduler (on the forked engine) and col the cloned latency collector
+// (nil if none was observed). The pending periodic check is re-registered
+// at its original (time, sequence) position. Cloning inside a monitoring
+// window is not supported — the window's sample chain is made of one-shot
+// closures bound to this checker — and neither is cloning with a trace
+// recorder attached; both panic.
+func (c *Checker) Clone(s *sched.Scheduler, col *latency.Collector) *Checker {
+	if c.monitoring {
+		panic("checker: Clone inside a monitoring window")
+	}
+	if c.rec != nil {
+		panic("checker: Clone with a trace recorder attached")
+	}
+	nc := &Checker{
+		s:          s,
+		eng:        s.Engine(),
+		cfg:        c.cfg,
+		lat:        col,
+		checks:     c.checks,
+		candidates: c.candidates,
+		transients: c.transients,
+		violations: append([]Violation(nil), c.violations...),
+		stopped:    c.stopped,
+	}
+	nc.tm = nc.eng.NewTimer(nc.periodic)
+	nc.tm.RestoreFrom(c.tm)
+	return nc
+}
+
 // Stop halts future checks.
 func (c *Checker) Stop() { c.stopped = true }
 
@@ -225,6 +255,16 @@ func (c *Checker) streakCount() int {
 func (c *Checker) flag(detectedAt sim.Time, idle, busy topology.CoreID, start sched.Counters, startStreaks int) {
 	nowCounters := c.s.Counters()
 	wakeupsOnBusy := nowCounters.WakeupsOnBusy - start.WakeupsOnBusy
+	// The episode classification mirrors the balancer's group metric, which
+	// reads the group-imbalance flag: when the divergence probe watches that
+	// flag, a classification the flipped metric would change is observable
+	// divergence even if no balancing decision ever differed.
+	if p := c.s.Probe(); p != nil && p.Armed.FixGroupImbalance && !p.Fired.FixGroupImbalance {
+		gi := c.s.Config().Features.FixGroupImbalance
+		if classifyWith(c.s, idle, busy, wakeupsOnBusy, gi) != classifyWith(c.s, idle, busy, wakeupsOnBusy, !gi) {
+			p.Fired.FixGroupImbalance = true
+		}
+	}
 	v := Violation{
 		DetectedAt:          detectedAt,
 		ConfirmedAt:         c.eng.Now(),

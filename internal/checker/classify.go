@@ -50,6 +50,13 @@ func Classes() []Class {
 // wakeupsOnBusy is the number of wakeups placed on busy cores during the
 // monitoring window (counter delta between detection and confirmation).
 func Classify(s *sched.Scheduler, idle, busy topology.CoreID, wakeupsOnBusy uint64) Class {
+	return classifyWith(s, idle, busy, wakeupsOnBusy, s.Config().Features.FixGroupImbalance)
+}
+
+// classifyWith is Classify with the group-imbalance flag given explicitly:
+// the balancer-metric mirror below reads it, and the divergence probe
+// needs the classification the flipped flag would have produced.
+func classifyWith(s *sched.Scheduler, idle, busy topology.CoreID, wakeupsOnBusy uint64, giFixed bool) Class {
 	topo := s.Topology()
 	var spanning []*sched.Domain
 	for _, d := range s.Domains(idle) {
@@ -106,7 +113,7 @@ func Classify(s *sched.Scheduler, idle, busy topology.CoreID, wakeupsOnBusy uint
 		if !ok {
 			break
 		}
-		if groupMetric(s, lg)+1e-9 >= groupMetric(s, rg) {
+		if groupMetric(s, lg, giFixed)+1e-9 >= groupMetric(s, rg, giFixed) {
 			return ClassGroupImbalance
 		}
 		break
@@ -121,7 +128,7 @@ func Classify(s *sched.Scheduler, idle, busy topology.CoreID, wakeupsOnBusy uint
 // groupMetric mirrors the balancer's scheduling-group comparison (§3.1):
 // average load with the bug present, minimum load with the Group
 // Imbalance fix.
-func groupMetric(s *sched.Scheduler, g sched.CPUSet) float64 {
+func groupMetric(s *sched.Scheduler, g sched.CPUSet, giFixed bool) float64 {
 	var sum, min float64
 	min = -1
 	n := 0
@@ -136,7 +143,7 @@ func groupMetric(s *sched.Scheduler, g sched.CPUSet) float64 {
 	if n == 0 {
 		return 0
 	}
-	if s.Config().Features.FixGroupImbalance {
+	if giFixed {
 		if min < 0 {
 			return 0
 		}

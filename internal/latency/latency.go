@@ -207,6 +207,24 @@ func NewCollector(cfg Config) *Collector {
 	}
 }
 
+// Clone returns an independent copy of the collector: same tuning, same
+// samples and streak state, fresh backing arrays. Part of the machine
+// checkpoint/fork path — the clone is attached to the forked scheduler so
+// both worlds accumulate evidence independently from here on.
+func (c *Collector) Clone() *Collector {
+	nc := &Collector{
+		cfg:      c.cfg,
+		run:      c.run,
+		runStart: c.runStart,
+		st:       c.st,
+		wake:     make([]int64, len(c.wake), cap(c.wake)),
+		wait:     make([]int64, len(c.wait), cap(c.wait)),
+	}
+	copy(nc.wake, c.wake)
+	copy(nc.wait, c.wait)
+	return nc
+}
+
 // WaitEnd implements sched.LatencyProbe.
 func (c *Collector) WaitEnd(at sim.Time, t *sched.Thread, cpu topology.CoreID, wait sim.Time, wakeup bool) {
 	c.wait = append(c.wait, int64(wait))

@@ -1,0 +1,71 @@
+package machine_test
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// TestMidRunForkByteEquivalent is the machine-level fork property: fork
+// a world in the middle of a NAS run — threads computing, spinning on
+// locks, parked on barriers, compute timers and deferred steps in
+// flight — and drive both worlds to completion. Makespans, processed
+// event counts, scheduler counters and primitive statistics must agree
+// exactly: the fork replays the original's future byte for byte.
+func TestMidRunForkByteEquivalent(t *testing.T) {
+	for _, app := range []string{"ua", "lu", "cg"} {
+		t.Run(app, func(t *testing.T) {
+			a, ok := workload.NASAppByName(app)
+			if !ok {
+				t.Fatalf("unknown app %s", app)
+			}
+			m := machine.New(topology.SMP(8), sched.DefaultConfig(), 11)
+			p := a.Launch(m, workload.NASLaunchOpts{Threads: 16, Seed: 5, Scale: 0.1})
+
+			// Run deep enough that every primitive has been exercised but
+			// the workload is still far from done.
+			m.Run(2 * sim.Millisecond)
+
+			f := m.Fork()
+			var fp *machine.Proc
+			for i, op := range m.Procs() {
+				if op == p {
+					fp = f.Procs()[i]
+				}
+			}
+			if fp == nil {
+				t.Fatal("forked proc not found")
+			}
+
+			horizon := m.Eng.Now() + 100*sim.Second
+			endA, okA := m.RunUntilDone(horizon, p)
+			endB, okB := f.RunUntilDone(horizon, fp)
+			if !okA || !okB {
+				t.Fatalf("runs incomplete: original %v fork %v", okA, okB)
+			}
+			if endA != endB {
+				t.Errorf("makespans differ: %v vs %v", endA, endB)
+			}
+			if m.Eng.Processed() != f.Eng.Processed() {
+				t.Errorf("processed events differ: %d vs %d", m.Eng.Processed(), f.Eng.Processed())
+			}
+			if ca, cb := m.Sched.Counters(), f.Sched.Counters(); ca != cb {
+				t.Errorf("scheduler counters differ:\n original %+v\n     fork %+v", ca, cb)
+			}
+			la, lb := m.Locks(), f.Locks()
+			if len(la) != len(lb) {
+				t.Fatalf("lock counts differ: %d vs %d", len(la), len(lb))
+			}
+			for i := range la {
+				if la[i].Acquisitions != lb[i].Acquisitions || la[i].Contended != lb[i].Contended {
+					t.Errorf("lock %d stats differ: %d/%d vs %d/%d", i,
+						la[i].Acquisitions, la[i].Contended, lb[i].Acquisitions, lb[i].Contended)
+				}
+			}
+		})
+	}
+}

@@ -148,19 +148,21 @@ func (m *Machine) RunUntilDone(horizon sim.Time, procs ...*Proc) (sim.Time, bool
 		}
 		return true
 	}
-	// Step in tick-sized chunks so we notice completion promptly without
-	// polling every event.
-	step := 10 * sim.Millisecond
-	for m.Eng.Now() < horizon {
+	// Step event by event, checking completion between events. Chunked
+	// stepping would make the post-completion event stream depend on the
+	// chunk grid, which breaks byte-identity between a forked run and a
+	// sequential one entered at a different time.
+	for {
 		if allDone() {
 			return m.latestFinish(procs), true
 		}
-		next := m.Eng.Now() + step
-		if next > horizon {
-			next = horizon
+		next, ok := m.Eng.NextEventAt()
+		if !ok || next > horizon {
+			break
 		}
-		m.Eng.RunUntil(next)
+		m.Eng.Step()
 	}
+	m.Eng.RunUntil(horizon)
 	return m.Eng.Now(), allDone()
 }
 
@@ -201,7 +203,11 @@ func (m *Machine) ThreadStarted(cpu topology.CoreID, st *sched.Thread) {
 	if t.spinning() {
 		t.spinStart = m.Eng.Now()
 	}
-	m.Eng.AfterCall(0, t.resumeCb, epoch)
+	// Cancel a stale resume before scheduling the new one so at most one
+	// is ever live, always carrying the current epoch — the invariant the
+	// fork path relies on to re-register resumes on a cloned engine.
+	m.Eng.Cancel(t.resumeH)
+	t.resumeH = m.Eng.AfterCall(0, t.resumeCb, epoch)
 }
 
 // ThreadStopped pauses the thread's program, banking compute progress and
@@ -212,6 +218,7 @@ func (m *Machine) ThreadStopped(cpu topology.CoreID, st *sched.Thread, reason sc
 		return
 	}
 	t.epoch++
+	m.Eng.Cancel(t.resumeH)
 	now := m.Eng.Now()
 	if t.spinning() {
 		t.spinTime += now - t.spinStart

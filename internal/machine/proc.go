@@ -109,10 +109,26 @@ type MThread struct {
 
 	// Pre-bound engine callbacks (closure-free scheduling: the varying
 	// epoch rides in the event's argument, so the VM's hottest events —
-	// resume, deferred step, sleep expiry — allocate nothing).
-	resumeCb func(uint64)
-	deferCb  func(uint64)
-	sleepCb  func(uint64)
+	// resume, deferred step, sleep expiry, barrier spin timeout —
+	// allocate nothing).
+	resumeCb   func(uint64)
+	deferCb    func(uint64)
+	sleepCb    func(uint64)
+	btimeoutCb func(uint64)
+
+	// Handles to this thread's outstanding one-shot events. They are what
+	// makes a machine fork possible: every live event in the engine queue
+	// has a tracked owner, so the cloned thread can re-register its events
+	// at their original (time, sequence) positions. Stale resumes are
+	// cancelled when superseded (ThreadStarted/ThreadStopped), so an
+	// active resumeH always carries the current epoch; deferArg and
+	// btimeoutGen record the argument of the other in-flight callbacks.
+	resumeH     sim.Handle
+	deferH      sim.Handle
+	deferArg    uint64
+	sleepH      sim.Handle
+	btimeoutH   sim.Handle
+	btimeoutGen uint64
 
 	// Spin state: set while the thread is logically spinning. The
 	// scheduler still sees it as runnable/running.
@@ -198,14 +214,26 @@ func (p *Proc) newThread(prog Program, opts SpawnOpts) *MThread {
 		loops: map[int]int{},
 	}
 	m := p.m
-	mt.computeTm = m.Eng.NewTimer(func() { m.computeFire(mt) })
-	mt.resumeCb = func(epoch uint64) { m.vmResume(mt, epoch) }
-	mt.deferCb = func(epoch uint64) { m.deferFire(mt, epoch) }
-	mt.sleepCb = func(uint64) { m.Sched.Wake(mt.T, nil) }
+	mt.bindCallbacks(m)
 	p.m.threads[st.ID()] = mt
 	p.threads = append(p.threads, mt)
 	p.alive++
 	return mt
+}
+
+// bindCallbacks (re)binds the thread's compute timer and pre-bound engine
+// callbacks to m. Called at creation and again on a machine fork, where
+// the clone's callbacks must target the cloned machine and thread.
+func (mt *MThread) bindCallbacks(m *Machine) {
+	mt.computeTm = m.Eng.NewTimer(func() { m.computeFire(mt) })
+	mt.resumeCb = func(epoch uint64) { m.vmResume(mt, epoch) }
+	mt.deferCb = func(epoch uint64) { m.deferFire(mt, epoch) }
+	mt.sleepCb = func(uint64) { m.Sched.Wake(mt.T, nil) }
+	mt.btimeoutCb = func(gen uint64) {
+		if b := mt.spinBarrier; b != nil {
+			m.barrierSpinTimeout(mt, b, gen)
+		}
+	}
 }
 
 // threadExited records a thread exit and completes the process when the

@@ -93,7 +93,7 @@ func (m *Machine) step(t *MThread) {
 		case OpSleep:
 			t.pc++
 			m.Sched.BlockCurrent(t.T, sched.StateSleeping)
-			m.Eng.AfterCall(ins.Dur, t.sleepCb, 0)
+			t.sleepH = m.Eng.AfterCall(ins.Dur, t.sleepCb, 0)
 			return
 
 		case OpLock:
@@ -130,8 +130,8 @@ func (m *Machine) step(t *MThread) {
 			t.spinBarrier = b
 			t.spinStart = m.Eng.Now()
 			if b.blockAfter > 0 {
-				gen := b.Completions
-				m.Eng.After(b.blockAfter, func() { m.barrierSpinTimeout(t, b, gen) })
+				t.btimeoutGen = b.Completions
+				t.btimeoutH = m.Eng.AfterCall(b.blockAfter, t.btimeoutCb, b.Completions)
 			}
 			return
 
@@ -347,6 +347,7 @@ func (m *Machine) releaseBarrier(b *SpinBarrier, self *MThread) {
 	arrived := b.arrived
 	b.arrived = nil
 	for _, w := range arrived {
+		m.Eng.Cancel(w.btimeoutH)
 		if w.spinBarrier != nil {
 			if w.T.State() == sched.StateRunning {
 				w.spinTime += now - w.spinStart
@@ -375,7 +376,8 @@ func (m *Machine) deferStep(t *MThread) {
 		return
 	}
 	t.stepPending = true
-	m.Eng.AfterCall(0, t.deferCb, t.epoch)
+	t.deferArg = t.epoch
+	t.deferH = m.Eng.AfterCall(0, t.deferCb, t.epoch)
 }
 
 // deferFire is the deferred-step body (t.deferCb's target).

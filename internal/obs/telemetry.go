@@ -9,7 +9,7 @@ package obs
 // reports to stderr and HTTP only.
 
 import (
-	"expvar"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -123,37 +123,34 @@ func (t *Telemetry) MaybeLine() (string, bool) {
 	return t.Line(), true
 }
 
-// published routes the process-wide expvar variable to the most recently
-// served Telemetry: expvar registration is global and permanent, so the
-// variable is registered once and reads through this pointer.
-var published atomic.Pointer[Telemetry]
-
-var ensured atomic.Bool
-
-func ensurePublished() {
-	if !ensured.CompareAndSwap(false, true) {
-		return
-	}
-	expvar.Publish("campaign", expvar.Func(func() any {
-		if t := published.Load(); t != nil {
-			return t.Stats()
-		}
-		return nil
-	}))
-}
-
-// Serve exposes the telemetry on an HTTP endpoint (expvar's standard
-// /debug/vars, variable "campaign"). It returns the bound address —
-// pass ":0" to pick a free port — and a stop function that closes the
-// listener. Artifacts never see any of this.
+// Serve exposes the telemetry on an HTTP endpoint in expvar's wire
+// format: a dedicated mux serving only /debug/vars, with this
+// instance's stats under the "campaign" variable. It returns the bound
+// address — pass ":0" to pick a free port — and a stop function that
+// closes the listener. Artifacts never see any of this.
+//
+// Each call publishes its own Telemetry: two sweeps served
+// concurrently report independent stats on their own ports. (An
+// earlier implementation registered one process-global expvar routed
+// through a last-writer-wins pointer and served the default mux, so a
+// second sweep silently took over the first one's endpoint — and the
+// endpoint leaked every other handler registered on the default mux.)
 func (t *Telemetry) Serve(addr string) (boundAddr string, stop func() error, err error) {
-	ensurePublished()
-	published.Store(t)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("telemetry: %w", err)
 	}
-	srv := &http.Server{Handler: http.DefaultServeMux}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		stats, err := json.Marshal(t.Stats())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n\"campaign\": %s\n}\n", stats)
+	})
+	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return ln.Addr().String(), func() error { return srv.Close() }, nil
 }

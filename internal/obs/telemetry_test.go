@@ -73,3 +73,80 @@ func TestTelemetryServe(t *testing.T) {
 		t.Fatalf("served stats %+v", s)
 	}
 }
+
+// fetchCampaignStats GETs /debug/vars from addr and decodes the
+// "campaign" variable.
+func fetchCampaignStats(t *testing.T, addr string) TelemetryStats {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	var s TelemetryStats
+	if err := json.Unmarshal(vars["campaign"], &s); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestTelemetryServeIndependentInstances is the regression test for the
+// last-writer-wins expvar publication: two served telemetries must each
+// report their own stats, not whichever instance called Serve last.
+func TestTelemetryServeIndependentInstances(t *testing.T) {
+	telA := NewTelemetry(5, 2)
+	telA.Observe(1)
+	addrA, stopA, err := telA.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer stopA()
+
+	telB := NewTelemetry(9, 3)
+	telB.Observe(1)
+	telB.Observe(1)
+	addrB, stopB, err := telB.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopB()
+
+	// A's endpoint still reports A — serving B must not take it over.
+	if s := fetchCampaignStats(t, addrA); s.ScenariosTotal != 5 || s.ScenariosDone != 1 {
+		t.Errorf("instance A reports %+v, want total=5 done=1", s)
+	}
+	if s := fetchCampaignStats(t, addrB); s.ScenariosTotal != 9 || s.ScenariosDone != 2 {
+		t.Errorf("instance B reports %+v, want total=9 done=2", s)
+	}
+}
+
+// TestTelemetryServeDedicatedMux: the endpoint exposes only
+// /debug/vars — none of the default mux's handlers (pprof and friends
+// register themselves there via blank imports elsewhere in a binary).
+func TestTelemetryServeDedicatedMux(t *testing.T) {
+	http.HandleFunc("/obs-test-leak", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	tel := NewTelemetry(1, 1)
+	addr, stop, err := tel.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/obs-test-leak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("default-mux handler leaked through the telemetry endpoint: status %d", resp.StatusCode)
+	}
+}

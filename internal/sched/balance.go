@@ -34,7 +34,14 @@ type groupStats struct {
 // bug present, minimum load with the fix (§3.1: "Instead of comparing the
 // average loads, we compare the minimum loads").
 func (s *Scheduler) metric(g *groupStats) float64 {
-	if s.cfg.Features.FixGroupImbalance {
+	return metricWith(g, s.cfg.Features.FixGroupImbalance)
+}
+
+// metricWith is metric with the group-imbalance flag given explicitly, so
+// the divergence probe can evaluate the comparison the flipped flag would
+// have made.
+func metricWith(g *groupStats, giFixed bool) float64 {
+	if giFixed {
 		return g.minLoad
 	}
 	return g.avgLoad
@@ -293,14 +300,28 @@ func (s *Scheduler) loadBalance(c *CPU, d *Domain, level int, op trace.Op) int {
 
 	// Line 13: prefer overloaded groups, then taskset-imbalanced groups,
 	// then simply the highest-metric group. Only groups with queued
-	// threads can yield a steal.
-	busiest := s.pickBusiestGroup(groups, local)
+	// threads can yield a steal. When the divergence probe watches the
+	// group-imbalance flag, every metric-dependent step is recomputed
+	// under the flipped flag; any difference in the chosen group, the
+	// balanced verdict, or the amount to move fires the probe.
+	gi := s.cfg.Features.FixGroupImbalance
+	probeGI := s.probe != nil && s.probe.Armed.FixGroupImbalance && !s.probe.Fired.FixGroupImbalance
+	busiest := s.pickBusiestGroup(groups, local, gi)
+	if probeGI && s.pickBusiestGroup(groups, local, !gi) != busiest {
+		s.probe.Fired.FixGroupImbalance = true
+		probeGI = false
+	}
 	if busiest == nil {
 		s.traceBalance(c, op, trace.VerdictNoBusiest, local, nil, 0)
 		return 0
 	}
 	// Lines 15–16: balanced at this level.
-	if s.metric(busiest) <= s.metric(local) {
+	balanced := metricWith(busiest, gi) <= metricWith(local, gi)
+	if probeGI && (metricWith(busiest, !gi) <= metricWith(local, !gi)) != balanced {
+		s.probe.Fired.FixGroupImbalance = true
+		probeGI = false
+	}
+	if balanced {
 		s.traceBalance(c, op, trace.VerdictBalanced, local, busiest, 0)
 		return 0
 	}
@@ -310,7 +331,10 @@ func (s *Scheduler) loadBalance(c *CPU, d *Domain, level int, op trace.Op) int {
 	// "have the same cost").
 	imbalance := (busiest.avgLoad - local.avgLoad) / 2
 	if imbalance <= 0 {
-		imbalance = (s.metric(busiest) - s.metric(local)) / 2
+		imbalance = (metricWith(busiest, gi) - metricWith(local, gi)) / 2
+		if probeGI && imbalance != (metricWith(busiest, !gi)-metricWith(local, !gi))/2 {
+			s.probe.Fired.FixGroupImbalance = true
+		}
 	}
 
 	// Lines 18–22: pick the busiest core of the group; when tasksets
@@ -378,15 +402,16 @@ func (s *Scheduler) traceBalance(c *CPU, op trace.Op, v trace.Verdict, local, bu
 	s.rec.Record(ev)
 }
 
-// pickBusiestGroup implements line 13 of Algorithm 1.
-func (s *Scheduler) pickBusiestGroup(groups []*groupStats, local *groupStats) *groupStats {
+// pickBusiestGroup implements line 13 of Algorithm 1 under the given
+// group-imbalance flag.
+func (s *Scheduler) pickBusiestGroup(groups []*groupStats, local *groupStats, giFixed bool) *groupStats {
 	best := func(pred func(*groupStats) bool) *groupStats {
 		var b *groupStats
 		for _, g := range groups {
 			if g == local || g.nrQueued == 0 || !pred(g) {
 				continue
 			}
-			if b == nil || s.metric(g) > s.metric(b) {
+			if b == nil || metricWith(g, giFixed) > metricWith(b, giFixed) {
 				b = g
 			}
 		}

@@ -137,10 +137,19 @@ func (s *Scheduler) rebuildDomains() {
 		s.domainCache[key] = hier
 	}
 	s.counters.DomainRebuilds++
+	s.probeDomainsCheck()
 }
 
-// buildDomainsFor constructs the bottom-up domain list for one core.
+// buildDomainsFor constructs the bottom-up domain list for one core under
+// the configured construction flags.
 func (s *Scheduler) buildDomainsFor(cpu topology.CoreID, includeNUMA bool) []*Domain {
+	return s.buildDomainsWith(cpu, includeNUMA, s.cfg.Features.FixGroupConstruction)
+}
+
+// buildDomainsWith constructs the bottom-up domain list for one core with
+// the construction flags given explicitly, so the divergence probe can
+// build the hierarchy an alternative fix set would have produced.
+func (s *Scheduler) buildDomainsWith(cpu topology.CoreID, includeNUMA, gcFixed bool) []*Domain {
 	topo := s.topo
 	var domains []*Domain
 	level := 0
@@ -216,7 +225,7 @@ func (s *Scheduler) buildDomainsFor(cpu topology.CoreID, includeNUMA bool) []*Do
 			Span:     span,
 			Interval: interval,
 		}
-		d.Groups = s.buildNUMAGroups(span, node, h)
+		d.Groups = s.buildNUMAGroups(span, node, h, gcFixed)
 		domains = append(domains, d)
 		level++
 		interval *= 2
@@ -238,7 +247,7 @@ func (s *Scheduler) buildDomainsFor(cpu topology.CoreID, includeNUMA bool) []*Do
 // and two-hop-apart nodes (1 and 2 on our machine) appear together in
 // every group. Fixed construction starts from the balancing core's own
 // node.
-func (s *Scheduler) buildNUMAGroups(span CPUSet, selfNode topology.NodeID, h int) []CPUSet {
+func (s *Scheduler) buildNUMAGroups(span CPUSet, selfNode topology.NodeID, h int, gcFixed bool) []CPUSet {
 	topo := s.topo
 	// Nodes present in the span, ascending.
 	var nodes []topology.NodeID
@@ -252,7 +261,7 @@ func (s *Scheduler) buildNUMAGroups(span CPUSet, selfNode topology.NodeID, h int
 	})
 
 	start := 0
-	if s.cfg.Features.FixGroupConstruction {
+	if gcFixed {
 		for i, n := range nodes {
 			if n == selfNode {
 				start = i

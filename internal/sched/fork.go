@@ -1,0 +1,247 @@
+package sched
+
+import (
+	"repro/internal/sim"
+)
+
+// This file is the scheduler half of checkpoint/fork (see sim/fork.go for
+// the engine half): a deep Clone onto a forked engine, ApplyFeatures for
+// re-configuring a clone in place, and the divergence probe that lets the
+// bisect lattice prove two fix subsets would produce byte-identical runs.
+
+// ThreadByID returns the thread with the given id. Ids are dense (the
+// creation index), so this is an O(1) lookup — the mapping a fork uses to
+// remap thread pointers between a scheduler and its clone.
+func (s *Scheduler) ThreadByID(id int) *Thread { return s.threads[id] }
+
+// GroupByID returns the task group with the given id.
+func (s *Scheduler) GroupByID(id int) *TaskGroup { return s.groups[id] }
+
+// Clone deep-copies the scheduler onto eng, which must be a Fork of this
+// scheduler's engine (same clock, same issued sequence numbers). Threads,
+// groups, runqueues, the idle list, balance bookkeeping and counters are
+// all copied; pending tick and resched events are re-registered on eng at
+// their original (time, sequence) positions, so the clone's event queue
+// pops in source order. Domain hierarchies are shared (immutable after
+// construction). Hooks are reset to no-ops — the caller wires the cloned
+// machine in — and the latency probe and divergence probe start unset.
+//
+// Attached observers that record into external sinks (trace recorder,
+// metrics, placement policy) cannot be cloned meaningfully; Clone panics
+// if any is installed.
+func (s *Scheduler) Clone(eng *sim.Engine) *Scheduler {
+	if s.rec != nil {
+		panic("sched: Clone with a trace recorder attached")
+	}
+	if s.policy != nil {
+		panic("sched: Clone with a placement policy attached")
+	}
+	if s.mx != nil {
+		panic("sched: Clone with metrics attached")
+	}
+	ns := &Scheduler{
+		eng:            eng,
+		topo:           s.topo,
+		cfg:            s.cfg,
+		hooks:          nopHooks{},
+		idleHead:       s.idleHead,
+		idleTail:       s.idleTail,
+		nohzBalancer:   s.nohzBalancer,
+		online:         s.online,
+		nextTID:        s.nextTID,
+		nextGID:        s.nextGID,
+		started:        s.started,
+		domainsBroken:  s.domainsBroken,
+		counters:       s.counters,
+		wastedCoreTime: s.wastedCoreTime,
+		wastedStamp:    s.wastedStamp,
+		idleCount:      s.idleCount,
+		queuedTotal:    s.queuedTotal,
+		curIdle:        s.curIdle,
+		curQueued:      s.curQueued,
+		loadGen:        s.loadGen,
+	}
+
+	ns.groups = make([]*TaskGroup, len(s.groups))
+	for i, g := range s.groups {
+		cg := *g
+		ns.groups[i] = &cg
+	}
+	ns.rootGroup = ns.groups[s.rootGroup.id]
+
+	ns.threads = make([]*Thread, len(s.threads))
+	for i, t := range s.threads {
+		ct := *t
+		ct.group = ns.groups[t.group.id]
+		// Runqueue membership is rebuilt below, per CPU.
+		ct.onRQ = rqHandle{}
+		ct.queued = false
+		ns.threads[i] = &ct
+	}
+
+	ns.cpus = make([]*CPU, len(s.cpus))
+	for i, c := range s.cpus {
+		nc := &CPU{
+			id:             c.id,
+			rq:             newCFSRQ(),
+			online:         c.online,
+			accruedUpTo:    c.accruedUpTo,
+			idleSince:      c.idleSince,
+			idlePrev:       c.idlePrev,
+			idleNext:       c.idleNext,
+			inIdle:         c.inIdle,
+			tickless:       c.tickless,
+			domains:        c.domains, // immutable after construction
+			pinnedFailure:  c.pinnedFailure,
+			reschedPending: c.reschedPending,
+			occIdle:        c.occIdle,
+			occQueued:      c.occQueued,
+			loadAt:         c.loadAt,
+			loadGenAt:      c.loadGenAt,
+			loadVal:        c.loadVal,
+		}
+		if c.curr != nil {
+			nc.curr = ns.threads[c.curr.id]
+		}
+		c.rq.each(func(t *Thread) bool {
+			nt := ns.threads[t.id]
+			nt.onRQ = nc.rq.tree.Insert(rqKey{nt.vruntime, nt.id, nt})
+			nt.queued = true
+			return true
+		})
+		nc.rq.queuedWt = c.rq.queuedWt
+		nc.rq.minVruntime = c.rq.minVruntime
+		nc.nextBalance = append([]sim.Time(nil), c.nextBalance...)
+		nc.balanceFailed = append([]int(nil), c.balanceFailed...)
+		nc.tickTm = eng.NewTimer(func() { ns.tick(nc) })
+		nc.tickTm.RestoreFrom(c.tickTm)
+		nc.reschedTm = eng.NewTimer(func() { ns.reschedFire(nc) })
+		nc.reschedTm.RestoreFrom(c.reschedTm)
+		ns.cpus[i] = nc
+	}
+
+	if s.domainCache != nil {
+		ns.domainCache = make(map[domainKey][][]*Domain, len(s.domainCache))
+		for k, v := range s.domainCache {
+			ns.domainCache[k] = v
+		}
+	}
+	return ns
+}
+
+// ApplyFeatures switches the fix set of a (typically just-cloned)
+// scheduler and rebuilds the domain hierarchy under the new flags. The
+// domain cache is dropped first: the construction-perspective flag is not
+// part of the cache key, so a stale entry built under the old flags would
+// otherwise be returned as a hit. The rebuild counter is restored so the
+// clone's counters match a scheduler constructed with f from the start —
+// the property the bisect fork path's byte-identity rests on.
+func (s *Scheduler) ApplyFeatures(f Features) {
+	if f == s.cfg.Features {
+		return
+	}
+	s.cfg.Features = f
+	pre := s.counters.DomainRebuilds
+	s.domainCache = nil
+	s.rebuildDomains()
+	s.counters.DomainRebuilds = pre
+}
+
+// DivergenceProbe watches a run on behalf of feature flags that are NOT
+// enabled, and records which of them would have changed at least one
+// scheduling decision had they been enabled. A flag that never fires is a
+// proof that enabling it would have produced the exact same trajectory:
+// every detector is evaluated at the decision it guards, on the live
+// scheduler state, by recomputing the decision with the flag flipped —
+// so by induction over the (deterministic) event sequence, a run under
+// the extended fix set is byte-identical to the observed one. The bisect
+// fork runner uses this to skip lattice configs whose outcome is already
+// determined.
+type DivergenceProbe struct {
+	// Armed selects the flags to watch. Only flags unset in the
+	// scheduler's config are meaningful.
+	Armed Features
+	// Fired accumulates the armed flags whose fix would have diverged.
+	Fired Features
+}
+
+// SetDivergenceProbe installs (or clears, with nil) a divergence probe.
+// The current domain hierarchy is checked immediately: construction-time
+// divergence (group perspective, missing NUMA levels) exists before any
+// event runs.
+func (s *Scheduler) SetDivergenceProbe(p *DivergenceProbe) {
+	s.probe = p
+	if p != nil {
+		s.probeDomainsCheck()
+	}
+}
+
+// Probe returns the installed divergence probe, or nil. The checker uses
+// it to report observation-level divergence (its episode classification
+// reads the group-imbalance flag).
+func (s *Scheduler) Probe() *DivergenceProbe { return s.probe }
+
+// probeDomainsCheck fires the construction flags whose flip would change
+// the current domain hierarchy. Called after every rebuild and at probe
+// attach: domain structure is the one place the group-construction and
+// missing-domains fixes act, so comparing the hierarchy that the flipped
+// flag would have built against the real one is a complete divergence
+// test for both.
+func (s *Scheduler) probeDomainsCheck() {
+	p := s.probe
+	if p == nil {
+		return
+	}
+	includeNUMA := !s.domainsBroken || s.cfg.Features.FixMissingDomains
+	if p.Armed.FixGroupConstruction && !p.Fired.FixGroupConstruction {
+		if !s.hierarchyMatches(includeNUMA, !s.cfg.Features.FixGroupConstruction) {
+			p.Fired.FixGroupConstruction = true
+		}
+	}
+	if p.Armed.FixMissingDomains && !p.Fired.FixMissingDomains {
+		altNUMA := !s.domainsBroken || !s.cfg.Features.FixMissingDomains
+		if altNUMA != includeNUMA && !s.hierarchyMatches(altNUMA, s.cfg.Features.FixGroupConstruction) {
+			p.Fired.FixMissingDomains = true
+		}
+	}
+}
+
+// hierarchyMatches reports whether rebuilding every online core's domain
+// list under the given construction parameters would reproduce the
+// current hierarchy. Pure: it builds fresh candidate hierarchies and
+// compares structure, leaving the scheduler untouched.
+func (s *Scheduler) hierarchyMatches(includeNUMA, gcFixed bool) bool {
+	for _, c := range s.cpus {
+		if !c.online {
+			continue
+		}
+		if !domainsEqual(c.domains, s.buildDomainsWith(c.id, includeNUMA, gcFixed)) {
+			return false
+		}
+	}
+	return true
+}
+
+// domainsEqual compares two per-core hierarchies structurally, including
+// group order — pickBusiestGroup breaks metric ties by first-seen, so a
+// reordered group list is an observable difference.
+func domainsEqual(a, b []*Domain) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		da, db := a[i], b[i]
+		if da.Level != db.Level || da.Name != db.Name || !da.Span.Equal(db.Span) {
+			return false
+		}
+		if len(da.Groups) != len(db.Groups) {
+			return false
+		}
+		for j := range da.Groups {
+			if !da.Groups[j].Equal(db.Groups[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -69,7 +69,8 @@ type Scheduler struct {
 	rec      *trace.Recorder
 	policy   PlacementPolicy
 	latProbe LatencyProbe
-	mx       *Metrics // observability hooks (nil = disabled, see AttachObs)
+	mx       *Metrics         // observability hooks (nil = disabled, see AttachObs)
+	probe    *DivergenceProbe // fix-divergence watcher (nil = disabled, see fork.go)
 
 	// Idle cores form an intrusive doubly-linked list through the CPU
 	// structs, ordered by idleSince ascending (head = longest idle, the

@@ -62,6 +62,20 @@ func (s *Scheduler) selectTaskRQ(t *Thread, waker *Thread) topology.CoreID {
 		}
 	}
 
+	// Fold the wake-affine load inputs up front, under the exact condition
+	// the original path reads them. The load reads advance decayed load
+	// averages; doing it here means both the fixed and the original path
+	// leave identical load state behind, so a run where the fix never
+	// changed a placement is bit-for-bit the run without the fix — the
+	// invariant the divergence probe certifies. (Folding is idempotent
+	// within an instant, so the original path's own reads are cache hits.)
+	if waker != nil && waker.cpu >= 0 && s.cpus[waker.cpu].online && allowed.Has(waker.cpu) &&
+		s.topo.NodeOf(waker.cpu) != s.topo.NodeOf(prev) {
+		_ = s.CPULoad(waker.cpu)
+		_ = t.load(s.eng.Now())
+		_ = s.CPULoad(prev)
+	}
+
 	if s.cfg.Features.FixOverloadWakeup && s.cfg.Power == PowerPerformance {
 		if cpu, ok := s.fixedWakeupTarget(prev, allowed); ok {
 			s.traceConsidered(cpu, trace.OpWakeup, s.onlineSet().And(allowed))
@@ -69,7 +83,14 @@ func (s *Scheduler) selectTaskRQ(t *Thread, waker *Thread) topology.CoreID {
 		}
 		// No idle core anywhere: fall back to the original algorithm.
 	}
-	return s.originalWakeupTarget(t, waker, prev, allowed)
+	cpu := s.originalWakeupTarget(t, waker, prev, allowed)
+	if p := s.probe; p != nil && p.Armed.FixOverloadWakeup && !p.Fired.FixOverloadWakeup &&
+		!s.cfg.Features.FixOverloadWakeup && s.cfg.Power == PowerPerformance {
+		if fcpu, ok := s.fixedWakeupTarget(prev, allowed); ok && fcpu != cpu {
+			p.Fired.FixOverloadWakeup = true
+		}
+	}
+	return cpu
 }
 
 // fixedWakeupTarget implements the paper's fix: previous core if idle,

@@ -116,7 +116,7 @@ func staleCampaign(prior *campaign.Campaign, opts campaign.RunnerOpts) string {
 // staleResult reports whether a prior result's per-scenario fingerprint
 // no longer matches the scenario as it would run now.
 func staleResult(res *campaign.Result, sc campaign.Scenario, prior *campaign.Campaign, opts campaign.RunnerOpts) bool {
-	if res.EngineSeed != campaign.DeriveSeed(opts.BaseSeed, sc.Key(), sc.Seed) {
+	if res.EngineSeed != campaign.DeriveSeed(opts.BaseSeed, sc.CellKey(), sc.Seed) {
 		return true
 	}
 	// Scale and horizon only exist campaign-wide in the artifact, and

@@ -16,10 +16,7 @@
 // freeing and reallocating an event every cycle.
 package sim
 
-import (
-	"fmt"
-	"math/rand"
-)
+import "fmt"
 
 // Time is a point in virtual time, in nanoseconds.
 type Time int64
@@ -94,27 +91,38 @@ func (h Handle) Active() bool {
 	return h.ev != nil && h.ev.gen == h.gen && !h.ev.canceled && h.ev.index >= 0
 }
 
+// Seq returns the pending event's sequence number, or false when the
+// handle is inert, stale or cancelled. Together with When it names the
+// event's exact position in the queue's (time, sequence) total order —
+// what Engine.Fork callers feed back into RestoreAt/RestoreAtCall.
+func (h Handle) Seq() (uint64, bool) {
+	if !h.Active() {
+		return 0, false
+	}
+	return h.ev.seq, true
+}
+
 // Engine is a discrete-event simulator clock and event queue.
 type Engine struct {
 	now       Time
 	seq       uint64
 	heap      []*Event
 	free      []*Event // recycled one-shot events
-	rng       *rand.Rand
+	rng       *RNG
 	processed uint64
 	maxHeap   int
 }
 
 // New returns an Engine whose random source is seeded with seed.
 func New(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{rng: NewRNG(seed)}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
 // Rand returns the engine's deterministic random source.
-func (e *Engine) Rand() *rand.Rand { return e.rng }
+func (e *Engine) Rand() *RNG { return e.rng }
 
 // Processed reports the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
@@ -356,6 +364,24 @@ func (e *Engine) dispatch(ev *Event) {
 		e.release(ev)
 		fn()
 	}
+}
+
+// NextEventAt reports the time of the earliest live pending event,
+// recycling cancelled events found at the heap head on the way. It
+// returns false when no live event remains. Event-granular drive loops
+// (machine.RunUntilDone, the campaign drive loop) use it to decide
+// whether the next Step would stay within a deadline — stepping exactly
+// to a completion instant instead of overshooting by a time chunk.
+func (e *Engine) NextEventAt() (Time, bool) {
+	for len(e.heap) > 0 {
+		next := e.heap[0]
+		if next.canceled {
+			e.release(e.heapPop())
+			continue
+		}
+		return next.when, true
+	}
+	return 0, false
 }
 
 // RunUntil executes events until the queue is exhausted or the next live

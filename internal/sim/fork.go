@@ -1,0 +1,135 @@
+package sim
+
+import "fmt"
+
+// This file is the engine half of checkpoint/fork: the mechanism that
+// lets the bisect lattice run each cell's shared prefix once and fork it
+// per fix subset instead of re-simulating the prefix 16 times.
+//
+// The engine's own state is four scalars plus the RNG word; the event
+// queue is the hard part, because every queued callback closes over (or
+// is bound to) its owner — a thread, a CPU, a checker — and a fork clones
+// those owners. The engine therefore does not try to copy the queue:
+// Fork returns an engine with the same clock, sequence counter and RNG
+// but an empty queue, and each cloned owner re-registers its own live
+// events at their original (time, sequence) positions via RestoreAt,
+// RestoreAtCall and Timer.RestoreFrom. Sequence numbers are preserved
+// exactly, so the restored queue pops in the source engine's order and
+// the fork replays byte-identically.
+
+// Snapshot captures the engine's scalar state: clock, sequence counter,
+// processed-event count, heap high-water mark and RNG position. It does
+// not capture the event queue — see Restore.
+type Snapshot struct {
+	now       Time
+	seq       uint64
+	processed uint64
+	maxHeap   int
+	rng       RNG
+}
+
+// Now returns the snapshot's virtual time.
+func (s Snapshot) Now() Time { return s.now }
+
+// Snapshot captures the engine's scalar state.
+func (e *Engine) Snapshot() Snapshot {
+	return Snapshot{now: e.now, seq: e.seq, processed: e.processed, maxHeap: e.maxHeap, rng: *e.rng}
+}
+
+// Restore rewinds the engine to a snapshot taken earlier on this engine.
+// The event queue is cleared: every queued event — live or cancelled,
+// scheduled before or after the snapshot — is dropped with its
+// generation bumped, so every pre-restore Handle goes stale and every
+// Timer reads as unarmed. Owners whose events were pending at snapshot
+// time must re-register them (RestoreAt, RestoreAtCall,
+// Timer.RestoreFrom against a recorded position) for the replay to match
+// the original run.
+func (e *Engine) Restore(s Snapshot) {
+	for len(e.heap) > 0 {
+		ev := e.heapPop()
+		if ev.pooled {
+			ev.canceled = false
+			e.release(ev)
+			continue
+		}
+		// Timer-owned: detach (heapPop cleared index) and stale-out any
+		// handle taken on it.
+		ev.gen++
+		ev.canceled = false
+	}
+	e.now = s.now
+	e.seq = s.seq
+	e.processed = s.processed
+	e.maxHeap = s.maxHeap
+	*e.rng = s.rng
+}
+
+// Fork returns a new engine with this engine's clock, sequence counter,
+// processed-event count and RNG position — and an empty event queue.
+// The caller walks its live events and re-registers each on the fork,
+// re-binding callbacks to cloned owners; with original sequence numbers
+// preserved, the fork's queue pops in exactly the source order.
+func (e *Engine) Fork() *Engine {
+	rng := *e.rng
+	return &Engine{now: e.now, seq: e.seq, processed: e.processed, maxHeap: e.maxHeap, rng: &rng}
+}
+
+// checkRestore validates a restored event's position: it must not be in
+// the engine's past, and its sequence number must already have been
+// issued (restoring is re-registration of an existing event, never a way
+// to mint new ones).
+func (e *Engine) checkRestore(when Time, seq uint64) {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: restoring event at %v before now %v", when, e.now))
+	}
+	if seq >= e.seq {
+		panic(fmt.Sprintf("sim: restoring event with unissued sequence number %d (next %d)", seq, e.seq))
+	}
+}
+
+// scheduleAt queues ev at an explicit (time, sequence) position.
+func (e *Engine) scheduleAt(ev *Event, when Time, seq uint64) Handle {
+	ev.when = when
+	ev.seq = seq
+	e.heapPush(ev)
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// RestoreAt re-registers a live closure event from a forked engine at
+// its original (time, sequence) position.
+func (e *Engine) RestoreAt(when Time, seq uint64, fn func()) Handle {
+	e.checkRestore(when, seq)
+	ev := e.get()
+	ev.fn = fn
+	return e.scheduleAt(ev, when, seq)
+}
+
+// RestoreAtCall re-registers a live callback event from a forked engine
+// at its original (time, sequence) position.
+func (e *Engine) RestoreAtCall(when Time, seq uint64, cb func(uint64), arg uint64) Handle {
+	e.checkRestore(when, seq)
+	ev := e.get()
+	ev.cb = cb
+	ev.arg = arg
+	return e.scheduleAt(ev, when, seq)
+}
+
+// RestoreFrom arms tm at the exact (time, sequence) position of src's
+// pending fire — the Timer leg of an engine fork, used by cloned owners
+// whose timer was armed in the source world. A source timer that is
+// unarmed, or lazily stopped with its event still queued, restores to
+// unarmed: a stopped-but-queued timer fires nothing and Reset assigns a
+// fresh sequence number whether or not the dead event is still in the
+// queue, so dropping it is behaviour-preserving.
+func (tm *Timer) RestoreFrom(src *Timer) {
+	if !src.Pending() {
+		return
+	}
+	e := tm.eng
+	e.checkRestore(src.ev.when, src.ev.seq)
+	if tm.ev.index >= 0 {
+		panic("sim: RestoreFrom on an armed timer")
+	}
+	tm.ev.canceled = false
+	e.scheduleAt(&tm.ev, src.ev.when, src.ev.seq)
+}

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRestoreInvalidatesHandles: Restore drops the whole queue, so every
+// handle taken before it — on events scheduled before or after the
+// snapshot — reads inactive, cancels as a no-op, and every timer reads
+// unarmed.
+func TestRestoreInvalidatesHandles(t *testing.T) {
+	eng := New(1)
+	fired := 0
+	hPre := eng.After(10, func() { fired++ })
+	tm := eng.NewTimer(func() { fired++ })
+	tm.Reset(20)
+
+	s := eng.Snapshot()
+	hPost := eng.After(30, func() { fired++ })
+
+	eng.Restore(s)
+	if hPre.Active() || hPost.Active() {
+		t.Error("pre-restore handles still active")
+	}
+	if tm.Pending() {
+		t.Error("timer still armed after Restore")
+	}
+	if _, ok := hPre.Seq(); ok {
+		t.Error("stale handle still reports a sequence number")
+	}
+	eng.Cancel(hPre) // must be a no-op, not a panic
+	eng.Cancel(hPost)
+	eng.Run()
+	if fired != 0 {
+		t.Errorf("%d dropped events fired", fired)
+	}
+	if eng.Pending() != 0 {
+		t.Errorf("queue not empty: %d", eng.Pending())
+	}
+
+	// The engine is fully usable afterwards: new events schedule and run.
+	eng.After(5, func() { fired++ })
+	tm.Reset(7)
+	eng.Run()
+	if fired != 2 {
+		t.Errorf("post-restore events fired %d times, want 2", fired)
+	}
+}
+
+// TestRestoreRejectsPastAndUnissued: re-registration validates its
+// position — an event in the restored engine's past, or a sequence
+// number the source never issued, is a caller bug.
+func TestRestoreRejectsPastAndUnissued(t *testing.T) {
+	eng := New(1)
+	eng.After(10, func() {})
+	eng.RunUntil(50)
+
+	mustPanic(t, "past", func() { eng.RestoreAt(40, 0, func() {}) })
+	mustPanic(t, "unissued seq", func() { eng.RestoreAt(60, 99, func() {}) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	fn()
+}
+
+// replayWorld is a deterministic self-perpetuating event tapestry: each
+// timer callback records (id, now), then re-arms itself by an
+// engine-RNG-drawn delay. Histories and engine scalars must match
+// between any two worlds that share a prefix.
+type replayWorld struct {
+	eng    *Engine
+	timers []*Timer
+	hist   []string
+}
+
+func newReplayWorld(eng *Engine, n int) *replayWorld {
+	w := &replayWorld{eng: eng}
+	for i := 0; i < n; i++ {
+		id := i
+		tm := eng.NewTimer(nil)
+		tm.fn = func() {
+			w.hist = append(w.hist, fmt.Sprintf("%d@%d", id, eng.Now()))
+			tm.ResetAfter(Time(1 + eng.Rand().Int63n(997)))
+		}
+		w.timers = append(w.timers, tm)
+	}
+	return w
+}
+
+// TestForkReplaysByteIdentical: fork a mid-run engine (including a
+// stopped-but-queued timer), re-register the live events, and drive both
+// worlds to the same horizon — event histories, processed counts and RNG
+// positions must agree exactly.
+func TestForkReplaysByteIdentical(t *testing.T) {
+	const (
+		forkAt  = Time(10_000)
+		horizon = Time(50_000)
+	)
+	a := newReplayWorld(New(7), 4)
+	for i, tm := range a.timers {
+		tm.ResetAfter(Time(1 + i))
+	}
+	a.eng.RunUntil(forkAt)
+
+	// The fork-edge under test: a lazily stopped timer whose dead event
+	// is still in A's queue. It must restore to unarmed on B, and a
+	// later Reset must behave identically in both worlds.
+	a.timers[0].Stop()
+
+	engB := a.eng.Fork()
+	b := newReplayWorld(engB, len(a.timers))
+	for i, src := range a.timers {
+		b.timers[i].RestoreFrom(src)
+	}
+	if b.timers[0].Pending() {
+		t.Fatal("stopped-but-queued timer restored as armed")
+	}
+
+	// Reset the stopped timer at the same instant in both worlds: the
+	// dead queued event in A must not disturb the revived one.
+	a.timers[0].ResetAfter(50)
+	b.timers[0].ResetAfter(50)
+
+	a.eng.RunUntil(horizon)
+	engB.RunUntil(horizon)
+
+	cut := 0
+	for _, h := range a.hist {
+		var id int
+		var at Time
+		fmt.Sscanf(h, "%d@%d", &id, &at)
+		if at < forkAt {
+			cut++
+		}
+	}
+	histA := a.hist[cut:]
+	if len(histA) == 0 {
+		t.Fatal("no post-fork events to compare")
+	}
+	if len(histA) != len(b.hist) {
+		t.Fatalf("post-fork event counts differ: %d vs %d", len(histA), len(b.hist))
+	}
+	for i := range histA {
+		if histA[i] != b.hist[i] {
+			t.Fatalf("histories diverge at %d: %q vs %q", i, histA[i], b.hist[i])
+		}
+	}
+	if a.eng.Processed() != engB.Processed() {
+		t.Errorf("processed counts differ: %d vs %d", a.eng.Processed(), engB.Processed())
+	}
+	if ra, rb := a.eng.Rand().Int63(), engB.Rand().Int63(); ra != rb {
+		t.Errorf("RNG positions differ: %d vs %d", ra, rb)
+	}
+}
+
+// TestSnapshotRestoreReplay: run past a snapshot, restore, re-register
+// the live events at their recorded positions, and run again — the
+// replay reproduces the original continuation exactly (the property the
+// engine's Restore contract promises).
+func TestSnapshotRestoreReplay(t *testing.T) {
+	const (
+		snapAt  = Time(10_000)
+		horizon = Time(40_000)
+	)
+	w := newReplayWorld(New(3), 3)
+	for i, tm := range w.timers {
+		tm.ResetAfter(Time(1 + i))
+	}
+	w.eng.RunUntil(snapAt)
+
+	snap := w.eng.Snapshot()
+	type pos struct {
+		when Time
+		seq  uint64
+	}
+	var positions []pos
+	for _, tm := range w.timers {
+		if !tm.Pending() {
+			t.Fatal("replay timer not pending at snapshot")
+		}
+		positions = append(positions, pos{tm.ev.when, tm.ev.seq})
+	}
+
+	w.hist = nil
+	w.eng.RunUntil(horizon)
+	want := append([]string(nil), w.hist...)
+	wantProcessed := w.eng.Processed()
+
+	w.eng.Restore(snap)
+	if got := w.eng.Now(); got != snapAt {
+		t.Fatalf("restored clock %d, want %d", got, snapAt)
+	}
+	// Re-register each timer's fire at its recorded position. The
+	// closure re-arms the timer itself, exactly as the timer's own fire
+	// would have.
+	for i, p := range positions {
+		tm := w.timers[i]
+		w.eng.RestoreAt(p.when, p.seq, tm.fn)
+	}
+	w.hist = nil
+	w.eng.RunUntil(horizon)
+
+	if len(w.hist) != len(want) {
+		t.Fatalf("replay event counts differ: %d vs %d", len(w.hist), len(want))
+	}
+	for i := range want {
+		if w.hist[i] != want[i] {
+			t.Fatalf("replay diverges at %d: %q vs %q", i, w.hist[i], want[i])
+		}
+	}
+	if w.eng.Processed() != wantProcessed {
+		t.Errorf("processed counts differ: %d vs %d", w.eng.Processed(), wantProcessed)
+	}
+}

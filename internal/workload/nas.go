@@ -157,7 +157,7 @@ func (a NASApp) Launch(m *machine.Machine, opts NASLaunchOpts) *machine.Proc {
 			iters = 1
 		}
 	}
-	rng := rand.New(rand.NewSource(opts.Seed ^ int64(len(a.Name))))
+	rng := rand.New(rand.NewSource(opts.Seed ^ nameSeed(a.Name)))
 	p := m.NewProc(a.Name, machine.ProcOpts{Cap: a.Cap})
 
 	// Fixed problem size: per-thread work shrinks as threads grow.
@@ -243,6 +243,24 @@ func (a NASApp) Launch(m *machine.Machine, opts NASLaunchOpts) *machine.Proc {
 		})
 	}
 	return p
+}
+
+// nameSeed hashes an application name into a jitter-seed perturbation
+// (FNV-1a). The previous scheme XORed in len(Name), which collided for
+// every same-length pair — bt/cg/ep/... all drew identical jitter
+// sequences under one campaign seed, correlating makespans across apps
+// that are supposed to be independent.
+func nameSeed(name string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return int64(h)
 }
 
 // jitter returns d randomized by +-frac.

@@ -121,9 +121,15 @@ func (d *TPCH) synthesizeQueries() {
 	for q := 0; q < NumQueries; q++ {
 		var s queryShape
 		if q == Q18Index {
-			// Large multi-join query: many short synchronized stages.
+			// Large multi-join query: many short synchronized stages. The
+			// stage count and per-stage parallelism are deliberately high —
+			// every Drain is a straggler barrier, so a single delayed
+			// wakeup stalls the whole stage. That is what makes Q18 "one
+			// of the queries that is most sensitive to the bug": its
+			// latency tracks wakeup placement much more tightly than the
+			// scan-shaped queries below.
 			s = queryShape{
-				stages:   10,
+				stages:   20,
 				seeds:    16,
 				taskDur:  sim.Time(scale * float64(400*sim.Microsecond)),
 				fanout:   2,

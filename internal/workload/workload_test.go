@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/machine"
@@ -285,5 +286,37 @@ func TestTPCHDeterminism(t *testing.T) {
 	}
 	if a, b := run(), run(); a != b {
 		t.Fatalf("TPC-H not deterministic: %v vs %v", a, b)
+	}
+}
+
+// TestNASJitterSeedsDecorrelated is the regression test for the jitter
+// seed collision: every NAS app name is two characters long, and the
+// old perturbation (Seed ^ len(Name)) therefore seeded one identical
+// jitter stream for the whole suite under any campaign seed. Each app
+// must now draw a distinct stream from the same launch Seed.
+func TestNASJitterSeedsDecorrelated(t *testing.T) {
+	suite := NASSuite()
+	const launchSeed = int64(7)
+	streams := map[string][4]float64{}
+	for _, a := range suite {
+		// The exact construction Launch uses for its jitter RNG.
+		rng := rand.New(rand.NewSource(launchSeed ^ nameSeed(a.Name)))
+		var draws [4]float64
+		for i := range draws {
+			draws[i] = rng.Float64()
+		}
+		streams[a.Name] = draws
+	}
+	for _, a := range suite {
+		for _, b := range suite {
+			if a.Name < b.Name && streams[a.Name] == streams[b.Name] {
+				t.Errorf("apps %s and %s draw identical first jitter values %v from seed %d",
+					a.Name, b.Name, streams[a.Name], launchSeed)
+			}
+		}
+	}
+	// And the perturbation must still be a pure function of the name.
+	if nameSeed("lu") != nameSeed("lu") {
+		t.Error("nameSeed not deterministic")
 	}
 }
