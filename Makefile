@@ -17,8 +17,9 @@ SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
 .PHONY: all build vet lint test race bench bench-out.txt bench-json \
-	bench-baseline-refresh profile campaign bisect bisect-smoke campaign-smoke \
-	trace-smoke bisect-nightly campaign-nightly baseline-refresh ci nightly
+	bench-baseline-refresh profile campaign bisect tourney bisect-smoke \
+	campaign-smoke tourney-smoke trace-smoke bisect-nightly campaign-nightly \
+	baseline-refresh ci nightly
 
 all: ci
 
@@ -89,6 +90,11 @@ campaign:
 bisect:
 	$(GO) run ./cmd/bisect -preset default -out bisect.json
 
+# The 54-scenario policy tournament (both paper machines x three
+# workloads x the nine-policy lineup), artifact to tourney.json.
+tourney:
+	$(GO) run ./cmd/tourney -preset default -out tourney.json
+
 # The CI lattice: 48 scenarios under the race detector, gated against
 # the committed rolling baseline ("exit status 3" in the output = a
 # per-scenario regression, written to bisect-smoke-diff.txt). The second
@@ -105,6 +111,15 @@ bisect-smoke:
 campaign-smoke:
 	$(GO) run ./cmd/campaign -matrix smoke -q -out campaign-smoke.json \
 		-baseline baselines/campaign-smoke.json -diff-out campaign-smoke-diff.txt
+
+# The CI tournament: 18 scenarios (bulldozer8 x {make2r, nas-pin:lu} x
+# nine policies), gated on two levels against the committed rolling
+# baseline: raw campaign metrics (like the other smoke gates) and the
+# per-cell policy verdicts — "exit status 3" here means a policy's
+# winner circle changed, written to tourney-smoke-diff.txt.
+tourney-smoke:
+	$(GO) run ./cmd/tourney -preset smoke -q -out tourney-smoke.json \
+		-baseline baselines/tourney-smoke.json -diff-out tourney-smoke-diff.txt
 
 # Export a Perfetto/Chrome trace of the smoke matrix's lead scenario
 # (a side run — artifact bytes are unaffected). Open trace-smoke.json
@@ -140,7 +155,8 @@ nightly:
 baseline-refresh:
 	$(GO) run ./cmd/bisect -preset smoke -q -out baselines/bisect-smoke.json
 	$(GO) run ./cmd/campaign -matrix smoke -q -out baselines/campaign-smoke.json
+	$(GO) run ./cmd/tourney -preset smoke -q -out baselines/tourney-smoke.json
 	$(GO) run ./cmd/bisect -preset default -q -out baselines/bisect-default.json
 	$(GO) run ./cmd/campaign -matrix default -scale 0.25 -q -out baselines/campaign-default.json
 
-ci: lint build race bisect-smoke campaign-smoke
+ci: lint build race bisect-smoke campaign-smoke tourney-smoke

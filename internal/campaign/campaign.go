@@ -180,6 +180,16 @@ type Campaign struct {
 	// pre-existing artifacts keep their bytes.
 	Metrics          bool  `json:"metrics,omitempty"`
 	MetricsCadenceNs int64 `json:"metrics_cadence_ns,omitempty"`
+	// Policies stamps the (name -> version) of every registered policy
+	// the artifact's scenarios ran under. Shard merges require
+	// overlapping names to agree (same name at different versions means
+	// the shards were built against different policy registries), and
+	// the incremental fingerprint compares each cached result's stamped
+	// version against the current registry — per scenario, so
+	// registering a *new* policy never invalidates unrelated cached
+	// cells. Ad-hoc version-0 specs are not stamped; omitted when empty
+	// so pre-existing artifacts keep their bytes.
+	Policies map[string]int `json:"policies,omitempty"`
 	// Results are sorted by Key — insertion order (and therefore worker
 	// scheduling) cannot leak into the artifact.
 	Results []Result `json:"results"`

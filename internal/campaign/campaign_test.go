@@ -354,7 +354,7 @@ func TestLatencyArtifactFields(t *testing.T) {
 	tm := Matrix{
 		Topologies: MustTopologies("bulldozer8"),
 		Workloads:  MustWorkloads("tpch"),
-		Configs:    pickConfigs("bugs"),
+		Configs:    MustConfigs("bugs"),
 		Seeds:      []int64{1},
 		Scale:      0.25,
 		Horizon:    100 * sim.Second,
@@ -398,7 +398,7 @@ func TestServeWorkload(t *testing.T) {
 	m := Matrix{
 		Topologies: MustTopologies("bulldozer8"),
 		Workloads:  MustWorkloads("serve:3000"),
-		Configs:    pickConfigs("bugs", "fixed"),
+		Configs:    MustConfigs("bugs", "fixed"),
 		Seeds:      []int64{1},
 		Scale:      0.25,
 		Horizon:    50 * sim.Second,
@@ -433,7 +433,7 @@ func TestHotplugStormWorkload(t *testing.T) {
 	m := Matrix{
 		Topologies: MustTopologies("bulldozer8"),
 		Workloads:  MustWorkloads("nas-hotplug-storm:lu:3"),
-		Configs:    pickConfigs("bugs", "fix-md"),
+		Configs:    MustConfigs("bugs", "fix-md"),
 		Seeds:      []int64{1},
 		Scale:      0.25,
 		Horizon:    100 * sim.Second,

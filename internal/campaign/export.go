@@ -8,7 +8,6 @@ import (
 	"repro/internal/checker"
 	"repro/internal/latency"
 	"repro/internal/machine"
-	"repro/internal/modsched"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
@@ -73,18 +72,11 @@ func ExportPerfetto(sc Scenario, opts RunnerOpts, w io.Writer) (TraceExport, err
 	topo := sc.Topology.Build()
 	m := machine.New(topo, sc.Config.Config, engineSeed)
 
-	if len(sc.Config.Modules) > 0 {
-		modules := make([]modsched.Module, 0, len(sc.Config.Modules))
-		for _, name := range sc.Config.Modules {
-			mod, ok := modsched.ModuleByName(name)
-			if !ok {
-				return TraceExport{}, fmt.Errorf("campaign: unknown modsched module %q", name)
-			}
-			modules = append(modules, mod)
-		}
-		cm := modsched.Attach(m.Sched, modsched.Config{}, modules...)
-		defer cm.Detach()
+	detach, err := sc.Config.Apply(m.Sched)
+	if err != nil {
+		return TraceExport{}, fmt.Errorf("campaign: %w", err)
 	}
+	defer detach()
 
 	// Full-run capture: recorder active from t=0 with a large buffer
 	// (the campaign's checker-windowed recorder only profiles around
@@ -117,7 +109,7 @@ func ExportPerfetto(sc Scenario, opts RunnerOpts, w io.Writer) (TraceExport, err
 	})
 
 	exp := TraceExport{Key: sc.Key(), Events: rec.Len(), Dropped: rec.Dropped()}
-	err := obs.WritePerfetto(w, rec.Events(), reg.Series(), obs.PerfettoOpts{
+	err = obs.WritePerfetto(w, rec.Events(), reg.Series(), obs.PerfettoOpts{
 		Cores:           topo.NumCores(),
 		MaxSeriesPoints: 4096,
 	})

@@ -6,6 +6,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/latency"
 	"repro/internal/machine"
+	"repro/internal/policy"
 	"repro/internal/sched"
 )
 
@@ -149,8 +150,9 @@ func runCell(scenarios []Scenario, idxs []int, opts RunnerOpts, results []Result
 }
 
 // cellForkable reports whether a cell's scenarios can run on the forked
-// path: no trace/metrics attachments, no placement modules, and configs
-// that differ only in Features (with uniform scale and horizon).
+// path: no trace/metrics attachments, no placement modules or policy
+// attach hooks, and configs that differ only in Features (with uniform
+// scale and horizon).
 func cellForkable(scenarios []Scenario, idxs []int, opts RunnerOpts) bool {
 	if opts.Trace || opts.Metrics {
 		return false
@@ -160,7 +162,7 @@ func cellForkable(scenarios []Scenario, idxs []int, opts RunnerOpts) bool {
 	ref.Features = sched.Features{}
 	for _, i := range idxs {
 		sc := scenarios[i]
-		if len(sc.Config.Modules) > 0 {
+		if len(sc.Config.Modules) > 0 || sc.Config.Attach != nil {
 			return false
 		}
 		cfg := sc.Config.Config
@@ -194,13 +196,8 @@ func featuresMask(f sched.Features) int {
 	return mask
 }
 
-// maskFeatures is featuresMask's inverse.
+// maskFeatures is featuresMask's inverse (the policy registry owns the
+// canonical bit order).
 func maskFeatures(mask int) sched.Features {
-	var f sched.Features
-	for i, fx := range latticeFixes {
-		if mask&(1<<i) != 0 {
-			fx.Set(&f)
-		}
-	}
-	return f
+	return policy.LatticeFeatures(mask)
 }

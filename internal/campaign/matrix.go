@@ -4,8 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
-	"repro/internal/sched"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -18,14 +19,12 @@ type TopologySpec struct {
 	Build func() *topology.Topology
 }
 
-// ConfigSpec is a named scheduler configuration: the paper's bug-fix
-// toggles plus, optionally, the modular placement policies of the
-// modsched redesign (attached by module name when Modules is non-empty).
-type ConfigSpec struct {
-	Name    string
-	Config  sched.Config
-	Modules []string
-}
+// ConfigSpec is a scenario's config coordinate: a registered scheduler
+// policy (see internal/policy). The alias keeps historical call sites —
+// struct literals with Name/Config/Modules, field access on
+// Scenario.Config — compiling unchanged while making the policy
+// registry the single source of named configurations.
+type ConfigSpec = policy.Policy
 
 // Matrix declares a campaign: the cross-product of every listed
 // dimension. A matrix with T topologies, W workloads, C configs and S
@@ -116,133 +115,90 @@ func (m Matrix) Scenarios() []Scenario {
 
 // --- builtin registries --------------------------------------------------
 
-// BuiltinTopologies lists the named machine shapes available to matrix
-// construction and the campaign CLI.
+// The topology registry: a once-built map with registration order
+// preserved, extendable through RegisterTopology.
+var (
+	topoMu     sync.RWMutex
+	topoByName = map[string]TopologySpec{}
+	topoOrder  []string
+)
+
+// RegisterTopology adds a named machine shape to the registry. It
+// errors on an empty or duplicate name.
+func RegisterTopology(t TopologySpec) error {
+	if t.Name == "" || t.Build == nil {
+		return fmt.Errorf("campaign: topology must have a name and a builder")
+	}
+	topoMu.Lock()
+	defer topoMu.Unlock()
+	if _, dup := topoByName[t.Name]; dup {
+		return fmt.Errorf("campaign: duplicate topology name %q", t.Name)
+	}
+	topoByName[t.Name] = t
+	topoOrder = append(topoOrder, t.Name)
+	return nil
+}
+
+// MustRegisterTopology is RegisterTopology that panics on error.
+func MustRegisterTopology(t TopologySpec) {
+	if err := RegisterTopology(t); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	MustRegisterTopology(TopologySpec{Name: "bulldozer8", Build: topology.Bulldozer8})
+	MustRegisterTopology(TopologySpec{Name: "machine32", Build: topology.Machine32})
+	MustRegisterTopology(TopologySpec{Name: "twonode8", Build: func() *topology.Topology { return topology.TwoNode(8) }})
+	MustRegisterTopology(TopologySpec{Name: "smp8", Build: func() *topology.Topology { return topology.SMP(8) }})
+	MustRegisterTopology(TopologySpec{Name: "grid2x2", Build: func() *topology.Topology { return topology.Grid(2, 2, 4) }})
+	MustRegisterTopology(TopologySpec{Name: "ring4", Build: func() *topology.Topology { return topology.Ring(4, 4) }})
+}
+
+// BuiltinTopologies lists the registered machine shapes in registration
+// order (the stock shapes first).
 func BuiltinTopologies() []TopologySpec {
-	return []TopologySpec{
-		{Name: "bulldozer8", Build: topology.Bulldozer8},
-		{Name: "machine32", Build: topology.Machine32},
-		{Name: "twonode8", Build: func() *topology.Topology { return topology.TwoNode(8) }},
-		{Name: "smp8", Build: func() *topology.Topology { return topology.SMP(8) }},
-		{Name: "grid2x2", Build: func() *topology.Topology { return topology.Grid(2, 2, 4) }},
-		{Name: "ring4", Build: func() *topology.Topology { return topology.Ring(4, 4) }},
+	topoMu.RLock()
+	defer topoMu.RUnlock()
+	out := make([]TopologySpec, 0, len(topoOrder))
+	for _, name := range topoOrder {
+		out = append(out, topoByName[name])
 	}
+	return out
 }
 
-// TopologyByName finds a builtin topology spec.
+// TopologyByName finds a registered topology spec.
 func TopologyByName(name string) (TopologySpec, bool) {
-	for _, t := range BuiltinTopologies() {
-		if t.Name == name {
-			return t, true
-		}
-	}
-	return TopologySpec{}, false
+	topoMu.RLock()
+	defer topoMu.RUnlock()
+	t, ok := topoByName[name]
+	return t, ok
 }
 
-// BuiltinConfigs lists the named scheduler configurations: the studied
-// kernel ("bugs"), each fix alone (the paper's per-bug evaluations), all
-// fixes, the power-saving policy that disarms the Overload-on-Wakeup
-// fix, and the modular-scheduler redesign with its three placement
-// modules.
-func BuiltinConfigs() []ConfigSpec {
-	one := func(name string, f sched.Features) ConfigSpec {
-		return ConfigSpec{Name: name, Config: sched.DefaultConfig().WithFixes(f)}
-	}
-	return []ConfigSpec{
-		one("bugs", sched.Features{}),
-		one("fix-gi", sched.Features{FixGroupImbalance: true}),
-		one("fix-gc", sched.Features{FixGroupConstruction: true}),
-		one("fix-oow", sched.Features{FixOverloadWakeup: true}),
-		one("fix-md", sched.Features{FixMissingDomains: true}),
-		one("fixed", sched.AllFixes()),
-		{Name: "powersave", Config: func() sched.Config {
-			c := sched.DefaultConfig().WithFixes(sched.AllFixes())
-			c.Power = sched.PowerSaving
-			return c
-		}()},
-		{Name: "modsched", Config: sched.DefaultConfig(),
-			Modules: []string{"cache-affinity", "load-spread", "numa-locality"}},
-	}
-}
+// BuiltinConfigs lists the curated registered policies: the studied
+// kernel ("bugs"), each fix alone, all fixes, the power-saving variant,
+// the modular-scheduler redesign, the §2.2 globalq queue designs, and
+// the placement-axis variants. It forwards to policy.Builtin; the
+// sixteen fx-* lattice points are registered too but enumerated via
+// LatticeConfigs.
+func BuiltinConfigs() []ConfigSpec { return policy.Builtin() }
 
-// ConfigByName finds a builtin configuration spec, including the 16
+// ConfigByName resolves any registered policy name, including the 16
 // "fx-*" lattice configurations (see LatticeConfigs).
-func ConfigByName(name string) (ConfigSpec, bool) {
-	for _, c := range BuiltinConfigs() {
-		if c.Name == name {
-			return c, true
-		}
-	}
-	if strings.HasPrefix(name, "fx-") {
-		for _, c := range LatticeConfigs() {
-			if c.Name == name {
-				return c, true
-			}
-		}
-	}
-	return ConfigSpec{}, false
-}
+func ConfigByName(name string) (ConfigSpec, bool) { return policy.ByName(name) }
 
-// latticeFixes are the paper's four fixes in canonical lattice order:
-// bit i of a lattice mask toggles latticeFixes[i]. The short names are
-// the ones ROADMAP and the bisect package use (gi, gc, oow, md).
-var latticeFixes = []struct {
-	Name string
-	Set  func(*sched.Features)
-}{
-	{"gi", func(f *sched.Features) { f.FixGroupImbalance = true }},
-	{"gc", func(f *sched.Features) { f.FixGroupConstruction = true }},
-	{"oow", func(f *sched.Features) { f.FixOverloadWakeup = true }},
-	{"md", func(f *sched.Features) { f.FixMissingDomains = true }},
-}
-
-// LatticeFixNames lists the short fix names in canonical bit order.
-func LatticeFixNames() []string {
-	names := make([]string, len(latticeFixes))
-	for i, fx := range latticeFixes {
-		names[i] = fx.Name
-	}
-	return names
-}
+// LatticeFixNames lists the short fix names in canonical bit order
+// (forwards to the policy registry, which owns the lattice).
+func LatticeFixNames() []string { return policy.LatticeFixNames() }
 
 // LatticeConfigName renders the canonical config name of one lattice
 // mask: "fx-none" for the studied kernel, else "fx-" plus the enabled
 // short names joined with "+" in canonical order (e.g. "fx-gi+oow").
-func LatticeConfigName(mask int) string {
-	var parts []string
-	for i, fx := range latticeFixes {
-		if mask&(1<<i) != 0 {
-			parts = append(parts, fx.Name)
-		}
-	}
-	if len(parts) == 0 {
-		return "fx-none"
-	}
-	return "fx-" + strings.Join(parts, "+")
-}
+func LatticeConfigName(mask int) string { return policy.LatticeConfigName(mask) }
 
-// LatticeConfigs enumerates the full 2^4 bug-fix lattice: one ConfigSpec
-// per subset of the paper's four fixes, indexed by mask (element mask has
-// exactly the fixes of its set bits enabled). LatticeConfigs()[0] is the
-// studied kernel, LatticeConfigs()[15] the fully fixed one. The bisection
-// subsystem fans these through the campaign runner to name minimal fix
-// sets per scenario.
-func LatticeConfigs() []ConfigSpec {
-	out := make([]ConfigSpec, 0, 1<<len(latticeFixes))
-	for mask := 0; mask < 1<<len(latticeFixes); mask++ {
-		var f sched.Features
-		for i, fx := range latticeFixes {
-			if mask&(1<<i) != 0 {
-				fx.Set(&f)
-			}
-		}
-		out = append(out, ConfigSpec{
-			Name:   LatticeConfigName(mask),
-			Config: sched.DefaultConfig().WithFixes(f),
-		})
-	}
-	return out
-}
+// LatticeConfigs enumerates the full 2^4 bug-fix lattice, indexed by
+// mask — see policy.LatticeConfigs.
+func LatticeConfigs() []ConfigSpec { return policy.LatticeConfigs() }
 
 // specNames joins the Name fields for usage strings.
 func specNames[T any](specs []T, name func(T) string) string {
@@ -299,6 +255,20 @@ func MustWorkloads(names ...string) []Workload {
 	return out
 }
 
+// MustConfigs resolves registered policy names, panicking on unknown
+// ones — for presets and test fixtures where the names are literals.
+func MustConfigs(names ...string) []ConfigSpec {
+	var out []ConfigSpec
+	for _, n := range names {
+		c, ok := ConfigByName(n)
+		if !ok {
+			panic("campaign: unknown config/policy " + n)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
 // DefaultMatrix is the standard 30-scenario sweep: both paper machines;
 // the §3.1 make+R mix, the Table 1 pinned NAS run, and the §3.3
 // database; the studied kernel against the three single-fix kernels
@@ -307,7 +277,7 @@ func DefaultMatrix() Matrix {
 	return Matrix{
 		Topologies: MustTopologies("bulldozer8", "machine32"),
 		Workloads:  MustWorkloads("make2r", "nas-pin:lu", "tpch"),
-		Configs:    pickConfigs("bugs", "fix-gi", "fix-gc", "fix-oow", "fixed"),
+		Configs:    MustConfigs("bugs", "fix-gi", "fix-gc", "fix-oow", "fixed"),
 		Seeds:      []int64{1},
 	}
 }
@@ -317,7 +287,7 @@ func SmokeMatrix() Matrix {
 	return Matrix{
 		Topologies: MustTopologies("smp8", "twonode8"),
 		Workloads:  MustWorkloads("make2r", "globalq"),
-		Configs:    pickConfigs("bugs", "fixed"),
+		Configs:    MustConfigs("bugs", "fixed"),
 		Seeds:      []int64{1},
 		Scale:      0.1,
 	}
@@ -345,16 +315,4 @@ func MatrixByName(name string) (Matrix, bool) {
 		return FullMatrix(), true
 	}
 	return Matrix{}, false
-}
-
-func pickConfigs(names ...string) []ConfigSpec {
-	var out []ConfigSpec
-	for _, n := range names {
-		c, ok := ConfigByName(n)
-		if !ok {
-			panic("campaign: unknown builtin config " + n)
-		}
-		out = append(out, c)
-	}
-	return out
 }

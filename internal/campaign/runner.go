@@ -11,7 +11,6 @@ import (
 	"repro/internal/checker"
 	"repro/internal/latency"
 	"repro/internal/machine"
-	"repro/internal/modsched"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -141,6 +140,18 @@ func AssembleArtifact(scenarios []Scenario, results []Result, opts RunnerOpts) (
 		BaseSeed: opts.BaseSeed, Trace: opts.Trace,
 		CheckerSNs: int64(ck.S), CheckerMNs: int64(ck.M),
 		StreakK: opts.EffectiveStreakK(), Results: results}
+	// Stamp the policy identities the scenarios ran under (registered
+	// policies carry a non-zero version; ad-hoc specs do not and are
+	// omitted). JSON objects encode with sorted keys, so the stamp is
+	// byte-stable regardless of scenario order.
+	for _, sc := range scenarios {
+		if sc.Config.Version != 0 {
+			if c.Policies == nil {
+				c.Policies = map[string]int{}
+			}
+			c.Policies[sc.Config.Name] = sc.Config.Version
+		}
+	}
 	if opts.Metrics {
 		c.Metrics = true
 		c.MetricsCadenceNs = int64(opts.EffectiveMetricsCadence())
@@ -232,18 +243,11 @@ func runScenario(sc Scenario, opts RunnerOpts) Result {
 	topo := sc.Topology.Build()
 	m := machine.New(topo, sc.Config.Config, engineSeed)
 
-	if len(sc.Config.Modules) > 0 {
-		modules := make([]modsched.Module, 0, len(sc.Config.Modules))
-		for _, name := range sc.Config.Modules {
-			mod, ok := modsched.ModuleByName(name)
-			if !ok {
-				panic("campaign: unknown modsched module " + name)
-			}
-			modules = append(modules, mod)
-		}
-		cm := modsched.Attach(m.Sched, modsched.Config{}, modules...)
-		defer cm.Detach()
+	detach, err := sc.Config.Apply(m.Sched)
+	if err != nil {
+		panic("campaign: " + err.Error())
 	}
+	defer detach()
 
 	var rec *trace.Recorder
 	if opts.Trace {

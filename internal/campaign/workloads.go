@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/globalq"
 	"repro/internal/machine"
@@ -43,60 +44,127 @@ type Workload struct {
 	Run  func(rc *RunContext) Outcome
 }
 
-// BuiltinWorkloads lists the named workloads available to matrix
-// construction and the campaign CLI. Any NAS program is additionally
-// reachable as "nas:<name>" through WorkloadByName.
-func BuiltinWorkloads() []Workload {
-	return []Workload{
-		makeTwoR(),
-		tpchWorkload(),
-		nasWorkload("lu"),
-		nasWorkload("cg"),
-		nasWorkload("ep"),
-		nasPinnedWorkload("lu"),
-		nasHotplugWorkload("lu"),
-		nasHotplugStormWorkload("lu", 4),
-		serveWorkload(3000),
-		globalqWorkload(),
+// The workload registry: static names in a once-built map (registration
+// order preserved), plus prefix families ("nas:<app>", "serve:<qps>")
+// whose members are synthesized on lookup.
+var (
+	loadMu     sync.RWMutex
+	loadByName = map[string]Workload{}
+	loadOrder  []string
+	families   []workloadFamily
+)
+
+type workloadFamily struct {
+	prefix  string
+	resolve func(rest string) (Workload, bool)
+}
+
+// RegisterWorkload adds a named workload to the registry. It errors on
+// an empty or duplicate name.
+func RegisterWorkload(w Workload) error {
+	if w.Name == "" || w.Run == nil {
+		return fmt.Errorf("campaign: workload must have a name and a Run")
+	}
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	if _, dup := loadByName[w.Name]; dup {
+		return fmt.Errorf("campaign: duplicate workload name %q", w.Name)
+	}
+	loadByName[w.Name] = w
+	loadOrder = append(loadOrder, w.Name)
+	return nil
+}
+
+// MustRegisterWorkload is RegisterWorkload that panics on error.
+func MustRegisterWorkload(w Workload) {
+	if err := RegisterWorkload(w); err != nil {
+		panic(err)
 	}
 }
 
-// WorkloadByName resolves a builtin workload, including the dynamic
-// "nas:<app>" family.
-func WorkloadByName(name string) (Workload, bool) {
-	for _, w := range BuiltinWorkloads() {
-		if w.Name == name {
-			return w, true
-		}
-	}
-	if app, ok := strings.CutPrefix(name, "nas:"); ok {
-		if _, found := workload.NASAppByName(app); found {
-			return nasWorkload(app), true
-		}
-	}
-	if app, ok := strings.CutPrefix(name, "nas-pin:"); ok {
-		if _, found := workload.NASAppByName(app); found {
-			return nasPinnedWorkload(app), true
-		}
-	}
-	if app, ok := strings.CutPrefix(name, "nas-hotplug:"); ok {
-		if _, found := workload.NASAppByName(app); found {
-			return nasHotplugWorkload(app), true
-		}
-	}
-	if rest, ok := strings.CutPrefix(name, "nas-hotplug-storm:"); ok {
-		app, cyc, ok := strings.Cut(rest, ":")
-		if ok {
+// registerFamily adds a prefix-resolved workload family (first match
+// wins; static names take precedence).
+func registerFamily(prefix string, resolve func(rest string) (Workload, bool)) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	families = append(families, workloadFamily{prefix: prefix, resolve: resolve})
+}
+
+func init() {
+	MustRegisterWorkload(makeTwoR())
+	MustRegisterWorkload(tpchWorkload())
+	MustRegisterWorkload(nasWorkload("lu"))
+	MustRegisterWorkload(nasWorkload("cg"))
+	MustRegisterWorkload(nasWorkload("ep"))
+	MustRegisterWorkload(nasPinnedWorkload("lu"))
+	MustRegisterWorkload(nasHotplugWorkload("lu"))
+	MustRegisterWorkload(nasHotplugStormWorkload("lu", 4))
+	MustRegisterWorkload(serveWorkload(3000))
+	MustRegisterWorkload(globalqWorkload())
+
+	nasFamily := func(build func(app string) Workload) func(string) (Workload, bool) {
+		return func(app string) (Workload, bool) {
 			if _, found := workload.NASAppByName(app); found {
-				if cycles, err := strconv.Atoi(cyc); err == nil && cycles >= 1 {
-					return nasHotplugStormWorkload(app, cycles), true
-				}
+				return build(app), true
 			}
+			return Workload{}, false
 		}
 	}
-	if qpsStr, ok := strings.CutPrefix(name, "serve:"); ok {
-		if qps, err := strconv.Atoi(qpsStr); err == nil && qps >= 1 {
-			return serveWorkload(qps), true
+	registerFamily("nas:", nasFamily(nasWorkload))
+	registerFamily("nas-pin:", nasFamily(nasPinnedWorkload))
+	registerFamily("nas-hotplug:", nasFamily(nasHotplugWorkload))
+	registerFamily("nas-hotplug-storm:", func(rest string) (Workload, bool) {
+		app, cyc, ok := strings.Cut(rest, ":")
+		if !ok {
+			return Workload{}, false
+		}
+		if _, found := workload.NASAppByName(app); !found {
+			return Workload{}, false
+		}
+		cycles, err := strconv.Atoi(cyc)
+		if err != nil || cycles < 1 {
+			return Workload{}, false
+		}
+		return nasHotplugStormWorkload(app, cycles), true
+	})
+	registerFamily("serve:", func(rest string) (Workload, bool) {
+		qps, err := strconv.Atoi(rest)
+		if err != nil || qps < 1 {
+			return Workload{}, false
+		}
+		return serveWorkload(qps), true
+	})
+}
+
+// BuiltinWorkloads lists the registered workloads in registration order
+// (the stock set first). Any NAS program is additionally reachable as
+// "nas:<name>" through WorkloadByName.
+func BuiltinWorkloads() []Workload {
+	loadMu.RLock()
+	defer loadMu.RUnlock()
+	out := make([]Workload, 0, len(loadOrder))
+	for _, name := range loadOrder {
+		out = append(out, loadByName[name])
+	}
+	return out
+}
+
+// WorkloadByName resolves a registered workload, including the dynamic
+// prefix families ("nas:<app>", "nas-pin:<app>", "nas-hotplug:<app>",
+// "nas-hotplug-storm:<app>:<cycles>", "serve:<qps>").
+func WorkloadByName(name string) (Workload, bool) {
+	loadMu.RLock()
+	if w, ok := loadByName[name]; ok {
+		loadMu.RUnlock()
+		return w, true
+	}
+	fams := families
+	loadMu.RUnlock()
+	for _, f := range fams {
+		if rest, ok := strings.CutPrefix(name, f.prefix); ok {
+			if w, found := f.resolve(rest); found {
+				return w, true
+			}
 		}
 	}
 	return Workload{}, false

@@ -281,3 +281,21 @@ func TestNUMALocalityAbstainsWithoutIdleNodeCore(t *testing.T) {
 	}
 	_ = sleeper
 }
+
+func TestModuleRegistry(t *testing.T) {
+	for _, name := range []string{"cache-affinity", "load-spread", "numa-locality"} {
+		m, ok := ModuleByName(name)
+		if !ok || m.Name() != name {
+			t.Errorf("module %q no longer resolves", name)
+		}
+	}
+	if _, ok := ModuleByName("no-such-module"); ok {
+		t.Error("unknown module resolved")
+	}
+	if err := Register(CacheAffinity{}); err == nil {
+		t.Error("duplicate module registration accepted")
+	}
+	if len(BuiltinModules()) < 3 {
+		t.Errorf("BuiltinModules has %d entries, want >= 3", len(BuiltinModules()))
+	}
+}

@@ -1,6 +1,9 @@
 package modsched
 
 import (
+	"fmt"
+	"sync"
+
 	"repro/internal/sched"
 	"repro/internal/topology"
 )
@@ -60,19 +63,65 @@ func (LoadSpread) SuggestWakeup(v View, t *sched.Thread, waker *sched.Thread,
 	return best, best >= 0
 }
 
-// BuiltinModules lists the stock optimization modules.
-func BuiltinModules() []Module {
-	return []Module{CacheAffinity{}, LoadSpread{}, NUMALocality{}}
+// The module registry: a once-built map keyed by Module.Name, with
+// registration order preserved so BuiltinModules keeps a stable listing.
+// External packages extend the stock set through Register; duplicate
+// names are rejected rather than shadowed.
+var (
+	regMu    sync.RWMutex
+	regByNam = map[string]Module{}
+	regOrder []string
+)
+
+// Register adds a module to the registry. It errors on an empty or
+// duplicate name; use MustRegister for init-time registration of
+// modules whose names are literals.
+func Register(m Module) error {
+	name := m.Name()
+	if name == "" {
+		return fmt.Errorf("modsched: module has empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := regByNam[name]; dup {
+		return fmt.Errorf("modsched: duplicate module name %q", name)
+	}
+	regByNam[name] = m
+	regOrder = append(regOrder, name)
+	return nil
 }
 
-// ModuleByName finds a stock module by its Name().
-func ModuleByName(name string) (Module, bool) {
-	for _, m := range BuiltinModules() {
-		if m.Name() == name {
-			return m, true
-		}
+// MustRegister is Register that panics on error.
+func MustRegister(m Module) {
+	if err := Register(m); err != nil {
+		panic(err)
 	}
-	return nil, false
+}
+
+func init() {
+	MustRegister(CacheAffinity{})
+	MustRegister(LoadSpread{})
+	MustRegister(NUMALocality{})
+}
+
+// BuiltinModules lists the registered optimization modules in
+// registration order (the stock modules first).
+func BuiltinModules() []Module {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Module, 0, len(regOrder))
+	for _, name := range regOrder {
+		out = append(out, regByNam[name])
+	}
+	return out
+}
+
+// ModuleByName finds a registered module by its Name().
+func ModuleByName(name string) (Module, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	m, ok := regByNam[name]
+	return m, ok
 }
 
 // NUMALocality prefers an idle core on the thread's last NUMA node before

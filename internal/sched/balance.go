@@ -178,6 +178,9 @@ func (s *Scheduler) balanceInterval(c *CPU, d *Domain) sim.Time {
 // periodicBalance runs Algorithm 1 for every due domain level of cpu,
 // honoring the designated-core optimization.
 func (s *Scheduler) periodicBalance(c *CPU) {
+	if s.cfg.DisableBalance {
+		return
+	}
 	now := s.eng.Now()
 	for li, d := range c.domains {
 		if li >= len(c.nextBalance) {
@@ -199,6 +202,9 @@ func (s *Scheduler) periodicBalance(c *CPU) {
 // go idle (§2.2): walk the domains bottom-up and stop at the first level
 // that yields work.
 func (s *Scheduler) newIdleBalance(c *CPU) {
+	if s.cfg.DisableBalance {
+		return
+	}
 	s.counters.NewIdleBalanceCalls++
 	for li, d := range c.domains {
 		if s.loadBalance(c, d, li, trace.OpNewIdleBalance) > 0 {
@@ -240,6 +246,9 @@ func (s *Scheduler) anyTicklessIdle() bool {
 // run the periodic load balancing routine for itself and on behalf of all
 // tickless idle cores."
 func (s *Scheduler) nohzBalanceAll(self *CPU) {
+	if s.cfg.DisableBalance {
+		return
+	}
 	s.counters.NohzBalancePasses++
 	for _, c := range s.cpus {
 		if c == self || !c.online || !c.tickless || !c.idle() {

@@ -90,6 +90,14 @@ type Config struct {
 	// NOHZ enables tickless idle cores and the NOHZ-balancer handoff
 	// described in §2.2.2. Enabled by default since Linux 2.6.21.
 	NOHZ bool
+	// DisableBalance turns the hierarchical load balancer off entirely —
+	// periodic, new-idle and NOHZ passes all become no-ops. No shipping
+	// kernel runs this way; it exists for policy variants that replace
+	// balancing with their own discipline (the globalq queue-design
+	// shims) or that model strict per-core queues with no cross-queue
+	// movement at all. Wakeup placement and fork placement are
+	// unaffected.
+	DisableBalance bool
 	// Power is the machine power policy (see PowerPolicy).
 	Power PowerPolicy
 	// Features toggles the four bug fixes.

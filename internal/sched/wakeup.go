@@ -99,9 +99,17 @@ func (s *Scheduler) fixedWakeupTarget(prev topology.CoreID, allowed CPUSet) (top
 	if s.cpus[prev].idle() {
 		return prev, true
 	}
-	// The idle list is ordered by time entered; its head has been idle
-	// the longest ("the kernel already maintains a list of all idle cores
-	// in the system, so picking the first one takes constant time").
+	return s.LongestIdle(allowed)
+}
+
+// LongestIdle returns the allowed core that has been idle the longest,
+// or ok=false when no allowed core is idle. The idle list is ordered by
+// time entered; its head has been idle the longest ("the kernel already
+// maintains a list of all idle cores in the system, so picking the
+// first one takes constant time"). This is the primitive behind the
+// §3.3 fixed wakeup path, exported for external placement policies
+// (internal/policy, internal/globalq).
+func (s *Scheduler) LongestIdle(allowed CPUSet) (topology.CoreID, bool) {
 	for id := s.idleHead; id >= 0; id = s.cpus[id].idleNext {
 		if allowed.Has(id) && s.cpus[id].idle() {
 			return id, true

@@ -119,6 +119,15 @@ func staleResult(res *campaign.Result, sc campaign.Scenario, prior *campaign.Cam
 	if res.EngineSeed != campaign.DeriveSeed(opts.BaseSeed, sc.CellKey(), sc.Seed) {
 		return true
 	}
+	// The policy-version stamp joins the fingerprint per scenario:
+	// a result is stale when its config's stamped version differs from
+	// the version the scenario would run under now (including 0 vs
+	// non-0: a policy gaining registration, or a stamp with no current
+	// counterpart). Keying by the scenario's own config means
+	// registering a *new* policy never invalidates unrelated cells.
+	if prior.Policies[res.Config] != sc.Config.Version {
+		return true
+	}
 	// Scale and horizon only exist campaign-wide in the artifact, and
 	// only when they were uniform; a zero stamp means they are
 	// unattested, so the cache cannot vouch for this result.

@@ -1,0 +1,85 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMergeRejectsPolicyVersionMismatch: shards stamped with the same
+// policy name at different versions were built against different policy
+// registries and must not merge; disjoint policy sets union cleanly.
+func TestMergeRejectsPolicyVersionMismatch(t *testing.T) {
+	scs := testMatrix().Scenarios()
+	half1, err := Spec{1, 2}.Select(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half2, err := Spec{2, 2}.Select(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustRun(t, half1, testOpts())
+	b := mustRun(t, half2, testOpts())
+	// The stamp covers only the shard's *used* policies — this smoke
+	// partition splits exactly along the config axis, so each shard
+	// carries one name and the sets are disjoint.
+	if len(a.Policies) == 0 || len(b.Policies) == 0 {
+		t.Fatalf("shard artifacts not policy-stamped: %v / %v", a.Policies, b.Policies)
+	}
+
+	// Same name, different version: built against different registries.
+	full := mustRun(t, scs, testOpts())
+	stale := mustRun(t, scs, testOpts())
+	stale.Results = stale.Results[:0] // keys must not overlap with full's
+	stale.Policies["bugs"] = full.Policies["bugs"] + 1
+	if _, err := Merge(full, stale); err == nil {
+		t.Error("merge accepted parts stamped with different policy versions")
+	}
+
+	// Disjoint stamps union into what a single process would stamp.
+	merged, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Policies["bugs"] == 0 || merged.Policies["fixed"] == 0 {
+		t.Errorf("merged stamp lost names: %v", merged.Policies)
+	}
+}
+
+// TestIncrementalPolicyVersionStaleness: bumping one policy's stamped
+// version invalidates exactly that policy's cached cells; the other
+// policy's results still splice, and the artifact matches a full run.
+func TestIncrementalPolicyVersionStaleness(t *testing.T) {
+	scs := testMatrix().Scenarios()
+	opts := testOpts()
+	prior := mustRun(t, scs, opts)
+
+	stale := *prior
+	stale.Policies = map[string]int{
+		"bugs":  prior.Policies["bugs"] + 41,
+		"fixed": prior.Policies["fixed"],
+	}
+	d := Plan(scs, &stale, opts)
+	var wantChanged int
+	for _, sc := range scs {
+		if sc.Config.Name == "bugs" {
+			wantChanged++
+		}
+	}
+	if len(d.Changed) != wantChanged || len(d.Cached) != len(scs)-wantChanged {
+		t.Fatalf("diff = %s, want %d changed (every bugs cell) and the rest cached",
+			d.Summary(), wantChanged)
+	}
+	for _, key := range d.Changed {
+		if !bytes.Contains([]byte(key), []byte("/bugs/")) {
+			t.Errorf("unrelated scenario %q invalidated by a bugs version bump", key)
+		}
+	}
+	c, err := d.Execute(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, c), encode(t, prior)) {
+		t.Error("re-run after policy bump differs from the full-run artifact")
+	}
+}

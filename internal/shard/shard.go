@@ -142,6 +142,22 @@ func Merge(parts ...*campaign.Campaign) (*campaign.Campaign, error) {
 			return nil, fmt.Errorf("shard: part %d has metrics=%v cadence=%dns, others metrics=%v cadence=%dns — not shards of one run",
 				i, p.Metrics, p.MetricsCadenceNs, merged.Metrics, merged.MetricsCadenceNs)
 		}
+		// Policy stamps must agree wherever they overlap: the same policy
+		// name at two versions means the parts were built against
+		// different policy registries (mirroring the ModelVersion check,
+		// but per policy so shards running disjoint policy subsets still
+		// merge). The union is what a single process over the whole
+		// scenario list would have stamped.
+		for name, v := range p.Policies {
+			if have, ok := merged.Policies[name]; ok && have != v {
+				return nil, fmt.Errorf("shard: part %d has policy %q at version %d, others version %d — built against different policy registries",
+					i, name, v, have)
+			}
+			if merged.Policies == nil {
+				merged.Policies = map[string]int{}
+			}
+			merged.Policies[name] = v
+		}
 		if len(p.Results) > 0 {
 			if !scaleSet {
 				merged.ScaleMilli, merged.HorizonNs = p.ScaleMilli, p.HorizonNs

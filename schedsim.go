@@ -36,9 +36,11 @@ import (
 	"repro/internal/checker"
 	"repro/internal/machine"
 	"repro/internal/modsched"
+	"repro/internal/policy"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/tourney"
 	"repro/internal/trace"
 	"repro/internal/viz"
 	"repro/internal/workload"
@@ -295,4 +297,33 @@ var (
 	LoadCampaign = campaign.Load
 	// CompareCampaigns diffs two artifacts for per-scenario regressions.
 	CompareCampaigns = campaign.Compare
+)
+
+// Policy registry and tournaments: the pluggable scheduler-policy API
+// (internal/policy) and the campaign tournaments over it
+// (internal/tourney).
+type (
+	// Policy is one named, versioned point in the scheduler design
+	// space: a sched.Config plus optional modsched modules and an
+	// attach hook for placement overrides or queueing disciplines.
+	Policy = policy.Policy
+	// TourneyOptions declares a tournament: cell dimensions, policy
+	// lineup, verdict tolerances.
+	TourneyOptions = tourney.Options
+	// TourneyReport is the tournament artifact: per-cell scores and
+	// verdicts plus non-monotone policy flips.
+	TourneyReport = tourney.Report
+)
+
+// Policy registration and tournament entry points.
+var (
+	// RegisterPolicy adds a policy to the registry (error on duplicate
+	// name); registered policies are campaign config coordinates.
+	RegisterPolicy = policy.Register
+	// PolicyByName looks a registered policy up.
+	PolicyByName = policy.ByName
+	// RunTourney executes a tournament and analyzes it.
+	RunTourney = tourney.Run
+	// LoadTourney reads a JSON artifact written by TourneyReport.WriteFile.
+	LoadTourney = tourney.Load
 )
