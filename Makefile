@@ -18,8 +18,8 @@ SHELL := /bin/bash
 
 .PHONY: all build vet lint test race bench bench-out.txt bench-json \
 	bench-baseline-refresh profile campaign bisect tourney bisect-smoke \
-	campaign-smoke tourney-smoke trace-smoke bisect-nightly campaign-nightly \
-	baseline-refresh ci nightly
+	campaign-smoke tourney-smoke explain-smoke trace-smoke bisect-nightly \
+	campaign-nightly baseline-refresh ci nightly
 
 all: ci
 
@@ -121,6 +121,17 @@ tourney-smoke:
 	$(GO) run ./cmd/tourney -preset smoke -q -out tourney-smoke.json \
 		-baseline baselines/tourney-smoke.json -diff-out tourney-smoke-diff.txt
 
+# The CI causal-observability gate: the smoke lattice with decision
+# provenance and counterfactual episode replay (-explain), distilled by
+# cmd/explain into just the explain data and gated against the
+# committed rolling baseline — "exit status 3" here means an episode's
+# counterfactual attribution or a cell's minimal-set cross-check
+# changed, written to explain-smoke-diff.txt.
+explain-smoke:
+	$(GO) run ./cmd/bisect -preset smoke -explain -q -out explain-bisect.json
+	$(GO) run ./cmd/explain -in explain-bisect.json -q -out explain-smoke.json \
+		-baseline baselines/explain-smoke.json -diff-out explain-smoke-diff.txt
+
 # Export a Perfetto/Chrome trace of the smoke matrix's lead scenario
 # (a side run — artifact bytes are unaffected). Open trace-smoke.json
 # at https://ui.perfetto.dev; CI uploads it as a workflow artifact.
@@ -156,7 +167,9 @@ baseline-refresh:
 	$(GO) run ./cmd/bisect -preset smoke -q -out baselines/bisect-smoke.json
 	$(GO) run ./cmd/campaign -matrix smoke -q -out baselines/campaign-smoke.json
 	$(GO) run ./cmd/tourney -preset smoke -q -out baselines/tourney-smoke.json
+	$(GO) run ./cmd/bisect -preset smoke -explain -q -out explain-bisect.json
+	$(GO) run ./cmd/explain -in explain-bisect.json -q -out baselines/explain-smoke.json
 	$(GO) run ./cmd/bisect -preset default -q -out baselines/bisect-default.json
 	$(GO) run ./cmd/campaign -matrix default -scale 0.25 -q -out baselines/campaign-default.json
 
-ci: lint build race bisect-smoke campaign-smoke tourney-smoke
+ci: lint build race bisect-smoke campaign-smoke tourney-smoke explain-smoke

@@ -161,6 +161,33 @@ func BenchmarkCampaign(b *testing.B) {
 			b.ReportMetric(float64(events), "events/op")
 		})
 	}
+
+	// The provenance-off run pins the zero-cost-when-off contract of the
+	// decision-provenance hooks (internal/obs.ProvRing): the dense bisect
+	// checker lens drives every hook site hot — balance verdicts, steal
+	// rejections, wakeup placements, migrations, episode candidates —
+	// with no ring attached, and benchjson's -max-allocs-per-event gate
+	// asserts the run still stays at or under one allocation per event,
+	// so every hook compiles down to a nil-check.
+	b.Run("provenance=off", func(b *testing.B) {
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			c, err := schedsim.RunCampaign(m, schedsim.CampaignRunnerOpts{
+				Workers:  1,
+				BaseSeed: 42,
+				Checker:  checker.Config{S: 20 * sim.Millisecond, M: 15 * sim.Millisecond},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			events = 0
+			for _, r := range c.Results {
+				events += r.Events
+			}
+		}
+		b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		b.ReportMetric(float64(events), "events/op")
+	})
 }
 
 // BenchmarkCampaignBisectFork measures the checkpoint/fork win on the

@@ -61,6 +61,11 @@
 //	                 unaffected); open the file at ui.perfetto.dev
 //	-trace-key key   scenario to export (default: first key)
 //	-telemetry-addr a  serve live progress as expvar on this address
+//	-explain         record decision provenance and counterfactually replay
+//	                 each confirmed episode under every single fix; the
+//	                 report cross-checks per-episode attributions against
+//	                 the lattice's minimal fix sets (explain_check), and
+//	                 -trace-out exports gain provenance/episode tracks
 //	-no-fork         simulate every lattice point from scratch instead
 //	                 of forking each cell's shared prefix (the escape
 //	                 hatch for validating the fork runner: both paths
@@ -115,6 +120,7 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "export one scenario as Perfetto JSON to this file")
 		traceKey    = flag.String("trace-key", "", "scenario key to export with -trace-out (default: first)")
 		telemetry   = flag.String("telemetry-addr", "", "serve live expvar progress on this address")
+		explainOn   = flag.Bool("explain", false, "record decision provenance and replay episodes counterfactually")
 		noFork      = flag.Bool("no-fork", false, "simulate every lattice point from scratch (bypass the checkpoint/fork runner)")
 		quiet       = flag.Bool("q", false, "suppress the verdict summary")
 	)
@@ -146,7 +152,8 @@ func main() {
 	}
 	o.StreakK = *streakK
 	o.NoFork = *noFork
-	opts := campaign.RunnerOpts{Workers: o.Workers, BaseSeed: o.BaseSeed, Checker: o.Checker, StreakK: o.StreakK}
+	o.Explain = *explainOn
+	opts := campaign.RunnerOpts{Workers: o.Workers, BaseSeed: o.BaseSeed, Checker: o.Checker, StreakK: o.StreakK, Explain: o.Explain}
 
 	// Wall-clock telemetry: progress lines on stderr plus an optional
 	// expvar endpoint. OnResult never influences artifact bytes.
@@ -298,6 +305,9 @@ func main() {
 		case base.StreakK != 0 && base.StreakK != r.StreakK:
 			fatalf("baseline %s used streak threshold K=%d, this run K=%d; not comparable",
 				*baseline, base.StreakK, r.StreakK)
+		case base.Campaign.Explain != r.Campaign.Explain:
+			fatalf("baseline %s ran with explain=%v, this run with explain=%v; not comparable",
+				*baseline, base.Campaign.Explain, r.Campaign.Explain)
 		}
 		opts := campaign.CompareOpts{TolerancePct: *tolerance}
 		if *bandSource != "" {

@@ -45,6 +45,10 @@
 //	                 cores while an allowed core idles form a witnessed
 //	                 streak (default 4; stamped into the artifact)
 //	-trace           capture violation-window traces
+//	-explain         record decision provenance and counterfactually replay
+//	                 each confirmed episode under every single fix (stamped
+//	                 into the artifact; also annotates -trace-out exports
+//	                 with provenance and episode tracks)
 //	-metrics         sample scheduler/machine metrics in virtual time into
 //	                 per-result snapshots (stamped into the artifact)
 //	-metrics-cadence-ms f  metrics sampling interval in virtual ms (default 10)
@@ -103,6 +107,7 @@ func main() {
 		horizon     = flag.Float64("horizon", 200, "per-scenario horizon in virtual seconds")
 		streakK     = flag.Int("streak-k", 0, "wakeup-streak threshold (0 = default 4)")
 		traceOn     = flag.Bool("trace", false, "capture violation-window traces")
+		explainOn   = flag.Bool("explain", false, "record decision provenance and replay episodes counterfactually")
 		metricsOn   = flag.Bool("metrics", false, "sample virtual-time metrics into per-result snapshots")
 		cadenceMs   = flag.Float64("metrics-cadence-ms", 0, "metrics sampling interval in virtual ms (0 = 10)")
 		traceOut    = flag.String("trace-out", "", "export one scenario as Perfetto JSON to this file")
@@ -184,6 +189,7 @@ func main() {
 			StreakK:        *streakK,
 			Metrics:        *metricsOn,
 			MetricsCadence: sim.Time(*cadenceMs * float64(sim.Millisecond)),
+			Explain:        *explainOn,
 		}
 
 		// Wall-clock telemetry: progress lines on stderr plus an optional

@@ -86,6 +86,15 @@ type Options struct {
 	// good (0 = 100µs).
 	LatencySlack sim.Time
 
+	// Explain attaches the causal-observability layer (see
+	// campaign.RunnerOpts.Explain) to every lattice point: decision
+	// provenance plus per-episode counterfactual replays. Analyze then
+	// cross-checks each cell's per-episode single-fix attributions
+	// against the lattice's minimal fix sets (Cell.ExplainCheck). Forces
+	// the sequential runner for affected cells — the explain hooks
+	// cannot ride the checkpoint/fork fast path.
+	Explain bool
+
 	// OnResult, when non-nil, is passed through to the campaign runner
 	// for progress telemetry; like campaign.RunnerOpts.OnResult it never
 	// influences the report (see that field for the contract).
@@ -159,6 +168,7 @@ func Run(opts Options) (*Report, error) {
 		BaseSeed: opts.BaseSeed,
 		Checker:  opts.Checker,
 		StreakK:  opts.StreakK,
+		Explain:  opts.Explain,
 		OnResult: opts.OnResult,
 	})
 	if err != nil {

@@ -107,6 +107,34 @@ type Cell struct {
 	LatencyBestSet        string   `json:"latency_best_set,omitempty"`
 	LatencyBestP99Ns      int64    `json:"latency_best_p99_ns,omitempty"`
 	LatencyMinimalFixSets []string `json:"latency_minimal_fix_sets,omitempty"`
+
+	// ExplainCheck cross-checks the baseline's per-episode counterfactual
+	// attributions against the lattice verdicts above. Nil unless the
+	// campaign ran with explain on and the baseline reported episodes.
+	ExplainCheck *ExplainCheck `json:"explain_check,omitempty"`
+}
+
+// ExplainCheck compares causal (per-episode counterfactual replay)
+// attribution with statistical (lattice walk) attribution for one cell.
+// The two are independent computations — replays re-simulate forked
+// worlds, the lattice walk compares whole-run episode counts — so their
+// agreement is genuine cross-validation, not restatement.
+type ExplainCheck struct {
+	// Episodes / StreakEpisodes count the baseline's replayed episodes
+	// (by kind); Attributed counts those where at least one single fix
+	// erased the episode.
+	Episodes       int `json:"episodes"`
+	StreakEpisodes int `json:"streak_episodes,omitempty"`
+	Attributed     int `json:"attributed"`
+	// CheckerFixes / StreakFixes are the unions of per-episode erasing
+	// fixes, by episode kind, in canonical lattice order.
+	CheckerFixes []string `json:"checker_fixes,omitempty"`
+	StreakFixes  []string `json:"streak_fixes,omitempty"`
+	// AgreesWithMinimal reports whether the causal attributions cover the
+	// lattice verdicts: some minimal fix set is contained in the checker
+	// episodes' eraser union (when the cell has one), and likewise some
+	// streak-minimal set in the streak episodes' (when the cell has one).
+	AgreesWithMinimal bool `json:"agrees_with_minimal"`
 }
 
 // Key renders the cell coordinate, mirroring campaign scenario keys
@@ -396,7 +424,70 @@ func analyzeCell(topo, load string, seed int64, lat *[NumSets]*campaign.Result, 
 			cell.LatencyMinimalFixSets = append(cell.LatencyMinimalFixSets, f.String())
 		}
 	}
+
+	cell.ExplainCheck = explainCheck(&cell, base)
 	return cell
+}
+
+// explainCheck builds the causal-vs-statistical cross-check for one cell
+// from the baseline's explain report (nil when the campaign ran without
+// explain, or the baseline replayed no episodes).
+func explainCheck(cell *Cell, base *campaign.Result) *ExplainCheck {
+	ex := base.Explain
+	if ex == nil || len(ex.Episodes) == 0 {
+		return nil
+	}
+	ec := &ExplainCheck{Episodes: len(ex.Episodes)}
+	checkerFixes := map[string]bool{}
+	streakFixes := map[string]bool{}
+	for _, ep := range ex.Episodes {
+		union := checkerFixes
+		if ep.Kind == "streak" {
+			ec.StreakEpisodes++
+			union = streakFixes
+		}
+		if len(ep.Attribution) > 0 {
+			ec.Attributed++
+		}
+		for _, f := range ep.Attribution {
+			union[f] = true
+		}
+	}
+	// Render the unions in canonical lattice order, so the artifact stays
+	// byte-stable.
+	for _, bit := range Singles() {
+		if checkerFixes[bit.String()] {
+			ec.CheckerFixes = append(ec.CheckerFixes, bit.String())
+		}
+		if streakFixes[bit.String()] {
+			ec.StreakFixes = append(ec.StreakFixes, bit.String())
+		}
+	}
+	ec.AgreesWithMinimal = minimalCovered(cell.MinimalFixSets, checkerFixes) &&
+		minimalCovered(cell.StreakMinimalFixSets, streakFixes)
+	return ec
+}
+
+// minimalCovered reports whether some minimal fix set is fully contained
+// in the eraser union (vacuously true when the cell has no minimal sets
+// on this axis — nothing to cross-check).
+func minimalCovered(minimal []string, erasers map[string]bool) bool {
+	if len(minimal) == 0 {
+		return true
+	}
+	for _, set := range minimal {
+		covered := true
+		for _, fix := range strings.Split(set, "+") {
+			if !erasers[fix] {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			return true
+		}
+	}
+	return false
 }
 
 // minimalSets walks the lattice bottom-up (by popcount) and returns the
@@ -597,6 +688,14 @@ func (r *Report) FormatSummary() string {
 			fmt.Fprintf(&b, "  perf: best {%s} at %v; minimal within %.3g%%: %s\n",
 				c.PerfBestSet, sim.Time(c.PerfBestMakespanNs), r.PerfTolerancePct,
 				formatNamedSets(c.PerfMinimalFixSets))
+		}
+		if ec := c.ExplainCheck; ec != nil {
+			agree := "AGREES with the lattice verdict"
+			if !ec.AgreesWithMinimal {
+				agree = "does NOT cover the lattice verdict"
+			}
+			fmt.Fprintf(&b, "  explain: %d episodes replayed (%d streak), %d causally attributed; erasers checker=%v streak=%v — %s\n",
+				ec.Episodes, ec.StreakEpisodes, ec.Attributed, ec.CheckerFixes, ec.StreakFixes, agree)
 		}
 	}
 	return b.String()

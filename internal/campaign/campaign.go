@@ -36,6 +36,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/explain"
 	"repro/internal/latency"
 	"repro/internal/obs"
 	"repro/internal/sched"
@@ -137,6 +138,12 @@ type Result struct {
 	// global-queue overhead fractions). JSON object keys are sorted, so
 	// the encoding stays stable.
 	Extra map[string]float64 `json:"extra,omitempty"`
+
+	// Explain is the scenario's causal-explanation report: decision
+	// provenance totals plus per-episode counterfactual replays (which
+	// single fix erases each confirmed episode, and what it saves). Nil
+	// unless RunnerOpts.Explain; deterministic when present.
+	Explain *explain.ScenarioExplain `json:"explain,omitempty"`
 }
 
 // Campaign is the aggregate artifact of one matrix run.
@@ -180,6 +187,12 @@ type Campaign struct {
 	// pre-existing artifacts keep their bytes.
 	Metrics          bool  `json:"metrics,omitempty"`
 	MetricsCadenceNs int64 `json:"metrics_cadence_ns,omitempty"`
+	// Explain records whether the causal-observability layer was attached
+	// (it adds per-result Explain reports and its episode forking changes
+	// Events counts on scenarios with streak episodes). Like Trace and
+	// Metrics it joins the merge checks and the incremental fingerprint;
+	// omitted when false so pre-existing artifacts keep their bytes.
+	Explain bool `json:"explain,omitempty"`
 	// Policies stamps the (name -> version) of every registered policy
 	// the artifact's scenarios ran under. Shard merges require
 	// overlapping names to agree (same name at different versions means

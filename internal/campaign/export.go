@@ -9,6 +9,8 @@ import (
 	"repro/internal/latency"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -97,6 +99,21 @@ func ExportPerfetto(sc Scenario, opts RunnerOpts, w io.Writer) (TraceExport, err
 	m.Sched.SetLatencyProbe(col)
 	ck := checker.New(m.Sched, nil, opts.EffectiveChecker())
 	ck.ObserveLatency(col)
+
+	// With Explain on, the side run also records decision provenance and
+	// episode onset/detection marks for the annotation tracks. Marks
+	// only, no counterfactual replays: the attached recorder makes the
+	// machine unforkable, and an export wants the timeline, not the
+	// report (the campaign artifact carries that).
+	var prov *obs.ProvRing
+	var marks *episodeMarker
+	if opts.Explain {
+		prov = obs.NewProvRing(obs.DefaultProvCap)
+		m.Sched.SetProvenance(prov)
+		marks = &episodeMarker{}
+		ck.SetEpisodeHook(marks)
+		col.SetStreakHook(marks.onStreak)
+	}
 	ck.Start()
 	defer ck.Stop()
 
@@ -109,9 +126,51 @@ func ExportPerfetto(sc Scenario, opts RunnerOpts, w io.Writer) (TraceExport, err
 	})
 
 	exp := TraceExport{Key: sc.Key(), Events: rec.Len(), Dropped: rec.Dropped()}
-	err = obs.WritePerfetto(w, rec.Events(), reg.Series(), obs.PerfettoOpts{
+	pfOpts := obs.PerfettoOpts{
 		Cores:           topo.NumCores(),
 		MaxSeriesPoints: 4096,
-	})
+	}
+	if prov != nil {
+		pfOpts.Prov = prov.Records(nil)
+		pfOpts.Episodes = marks.marks
+	}
+	err = obs.WritePerfetto(w, rec.Events(), reg.Series(), pfOpts)
 	return exp, err
+}
+
+// episodeMarker is the export-side checker.EpisodeHook: it keeps the
+// onset/detection instants of confirmed episodes (and wakeup streaks)
+// as Perfetto annotation marks, discarding transients.
+type episodeMarker struct {
+	marks []obs.EpisodeMark
+	cand  *obs.EpisodeMark
+}
+
+func (e *episodeMarker) OnCandidate(detectedAt, onsetAt sim.Time, idle, busy topology.CoreID) {
+	e.cand = &obs.EpisodeMark{
+		OnsetNs:    int64(onsetAt),
+		DetectedNs: int64(detectedAt),
+		Kind:       "checker",
+		IdleCPU:    int(idle),
+		BusyCPU:    int(busy),
+	}
+}
+
+func (e *episodeMarker) OnTransient() { e.cand = nil }
+
+func (e *episodeMarker) OnConfirmed(checker.Violation) {
+	if e.cand != nil {
+		e.marks = append(e.marks, *e.cand)
+		e.cand = nil
+	}
+}
+
+func (e *episodeMarker) onStreak(start, at sim.Time) {
+	e.marks = append(e.marks, obs.EpisodeMark{
+		OnsetNs:    int64(start),
+		DetectedNs: int64(at),
+		Kind:       "streak",
+		IdleCPU:    -1,
+		BusyCPU:    -1,
+	})
 }

@@ -150,11 +150,13 @@ func runCell(scenarios []Scenario, idxs []int, opts RunnerOpts, results []Result
 }
 
 // cellForkable reports whether a cell's scenarios can run on the forked
-// path: no trace/metrics attachments, no placement modules or policy
-// attach hooks, and configs that differ only in Features (with uniform
-// scale and horizon).
+// path: no trace/metrics/explain attachments, no placement modules or
+// policy attach hooks, and configs that differ only in Features (with
+// uniform scale and horizon). Explain blocks the forked path because its
+// episode hooks cannot survive a checker Clone (and its own forks would
+// nest inside the lattice's).
 func cellForkable(scenarios []Scenario, idxs []int, opts RunnerOpts) bool {
-	if opts.Trace || opts.Metrics {
+	if opts.Trace || opts.Metrics || opts.Explain {
 		return false
 	}
 	first := scenarios[idxs[0]]

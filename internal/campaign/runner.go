@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/checker"
+	"repro/internal/explain"
 	"repro/internal/latency"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -48,6 +49,15 @@ type RunnerOpts struct {
 	// MetricsCadence is the virtual-time sampling interval (0 =
 	// obs.DefaultCadence). Ignored unless Metrics.
 	MetricsCadence sim.Time
+	// Explain attaches the causal-observability layer to every scenario:
+	// decision provenance is recorded into a preallocated ring, and each
+	// confirmed checker episode (plus each wakeup streak) is replayed
+	// counterfactually under every single fix from a world forked at the
+	// detection instant. Each Result carries a deterministic Explain
+	// report. Like Trace, the toggle is stamped into the artifact —
+	// episode forking schedules events on scenarios with streaks, so
+	// explain-on and explain-off artifacts are distinct.
+	Explain bool
 	// OnResult, when non-nil, is called from worker goroutines as each
 	// scenario finishes (for progress reporting). Calls may arrive in
 	// any order; the callback must be safe for concurrent use.
@@ -156,6 +166,7 @@ func AssembleArtifact(scenarios []Scenario, results []Result, opts RunnerOpts) (
 		c.Metrics = true
 		c.MetricsCadenceNs = int64(opts.EffectiveMetricsCadence())
 	}
+	c.Explain = opts.Explain
 	// Stamp the campaign-wide scale and horizon only when they are
 	// uniform across scenarios; a mixed list leaves them zero rather
 	// than mislabeling the artifact with the first scenario's values.
@@ -265,6 +276,15 @@ func runScenario(sc Scenario, opts RunnerOpts) Result {
 	m.Sched.SetLatencyProbe(col)
 	ck := checker.New(m.Sched, rec, opts.EffectiveChecker())
 	ck.ObserveLatency(col)
+	var exo *explain.Observer
+	if opts.Explain {
+		exo = explain.NewObserver(m, explain.Config{
+			Checker: opts.EffectiveChecker(),
+			StreakK: opts.EffectiveStreakK(),
+		})
+		ck.SetEpisodeHook(exo)
+		col.SetStreakHook(exo.OnStreak)
+	}
 	ck.Start()
 	defer ck.Stop()
 
@@ -283,6 +303,9 @@ func runScenario(sc Scenario, opts RunnerOpts) Result {
 	}
 	if reg != nil {
 		r.Metrics = reg.Snapshot()
+	}
+	if exo != nil {
+		r.Explain = exo.Report()
 	}
 	return r
 }

@@ -67,6 +67,12 @@ type Violation struct {
 	// still present.
 	DetectedAt  sim.Time
 	ConfirmedAt sim.Time
+	// OnsetAt is when the episode actually began: the instant the idle
+	// witness core went idle (it had been sitting idle for
+	// DetectedAt-OnsetAt before the periodic check noticed). Equal to
+	// DetectedAt when the idle core's history is unavailable. Additive:
+	// zero in artifacts written before this field existed.
+	OnsetAt sim.Time `json:",omitempty"`
 	// IdleCPU / OverloadedCPU witness the violation at confirmation.
 	IdleCPU       topology.CoreID
 	OverloadedCPU topology.CoreID
@@ -112,8 +118,25 @@ type Checker struct {
 	monitoring bool
 	stopped    bool
 
+	hook EpisodeHook // episode lifecycle observer (nil = disabled)
+
 	tm *sim.Timer // the periodic check, re-armed in place
 }
+
+// EpisodeHook observes the checker's episode lifecycle. OnCandidate
+// fires when a candidate violation opens a monitoring window — before
+// any window sample event is scheduled, so the engine is at a clean
+// boundary and the hook may snapshot/fork the world (this is the
+// explain layer's fork instant). Exactly one of OnTransient or
+// OnConfirmed follows each OnCandidate.
+type EpisodeHook interface {
+	OnCandidate(detectedAt, onsetAt sim.Time, idle, busy topology.CoreID)
+	OnTransient()
+	OnConfirmed(v Violation)
+}
+
+// SetEpisodeHook installs (or clears, with nil) the episode observer.
+func (c *Checker) SetEpisodeHook(h EpisodeHook) { c.hook = h }
 
 // New creates a checker over s. rec may be nil; when present it is
 // activated for ProfileWindow after each confirmed violation.
@@ -148,6 +171,9 @@ func (c *Checker) Clone(s *sched.Scheduler, col *latency.Collector) *Checker {
 	}
 	if c.rec != nil {
 		panic("checker: Clone with a trace recorder attached")
+	}
+	if c.hook != nil {
+		panic("checker: Clone with an episode hook attached")
 	}
 	nc := &Checker{
 		s:          s,
@@ -220,8 +246,14 @@ func (c *Checker) findViolation() (idle, busy topology.CoreID, found bool) {
 // conditions that are acceptable for a short period of time, but
 // unacceptable if they persist").
 func (c *Checker) beginMonitoring(idle, busy topology.CoreID) {
-	c.monitoring = true
 	detectedAt := c.eng.Now()
+	onsetAt := c.onsetOf(idle, detectedAt)
+	if c.hook != nil {
+		// Before monitoring state or any sample event exists: the hook may
+		// fork the world here and the clone carries no checker artifacts.
+		c.hook.OnCandidate(detectedAt, onsetAt, idle, busy)
+	}
+	c.monitoring = true
 	startCounters := c.s.Counters()
 	startStreaks := c.streakCount()
 	step := c.cfg.M / sim.Time(c.cfg.Samples)
@@ -231,16 +263,32 @@ func (c *Checker) beginMonitoring(idle, busy topology.CoreID) {
 		if !found {
 			c.transients++
 			c.monitoring = false
+			if c.hook != nil {
+				c.hook.OnTransient()
+			}
 			return
 		}
 		if n >= c.cfg.Samples {
-			c.flag(detectedAt, i, b, startCounters, startStreaks)
+			c.flag(detectedAt, onsetAt, i, b, startCounters, startStreaks)
 			c.monitoring = false
 			return
 		}
 		c.eng.After(step, func() { sample(n + 1) })
 	}
 	c.eng.After(step, func() { sample(1) })
+}
+
+// onsetOf anchors an episode's start at the instant the idle witness
+// core went idle, falling back to the detection instant when the core
+// is no longer idle (it can pick up work between findViolation and the
+// hook in pathological orderings).
+func (c *Checker) onsetOf(idle topology.CoreID, detectedAt sim.Time) sim.Time {
+	if c.s.IsIdle(idle) {
+		if since := c.s.IdleSince(idle); since <= detectedAt {
+			return since
+		}
+	}
+	return detectedAt
 }
 
 // streakCount reads the observed collector's streak tally (0 without
@@ -252,7 +300,7 @@ func (c *Checker) streakCount() int {
 	return c.lat.StreakCount()
 }
 
-func (c *Checker) flag(detectedAt sim.Time, idle, busy topology.CoreID, start sched.Counters, startStreaks int) {
+func (c *Checker) flag(detectedAt, onsetAt sim.Time, idle, busy topology.CoreID, start sched.Counters, startStreaks int) {
 	nowCounters := c.s.Counters()
 	wakeupsOnBusy := nowCounters.WakeupsOnBusy - start.WakeupsOnBusy
 	// The episode classification mirrors the balancer's group metric, which
@@ -267,6 +315,7 @@ func (c *Checker) flag(detectedAt sim.Time, idle, busy topology.CoreID, start sc
 	}
 	v := Violation{
 		DetectedAt:          detectedAt,
+		OnsetAt:             onsetAt,
 		ConfirmedAt:         c.eng.Now(),
 		IdleCPU:             idle,
 		OverloadedCPU:       busy,
@@ -280,6 +329,9 @@ func (c *Checker) flag(detectedAt sim.Time, idle, busy topology.CoreID, start sc
 		v.NrRunning = append(v.NrRunning, c.s.NrRunning(cpu))
 	}
 	c.violations = append(c.violations, v)
+	if c.hook != nil {
+		c.hook.OnConfirmed(v)
+	}
 	// Begin profiling, as the paper does with systemtap for 20ms.
 	if c.rec != nil && !c.rec.Active() {
 		c.rec.Start()

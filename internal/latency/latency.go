@@ -192,7 +192,20 @@ type Collector struct {
 	run      int
 	runStart sim.Time
 	st       Streaks
+
+	// streakHook fires the moment a run reaches K (once per streak) with
+	// the run's start and the K-th placement's instant — the episode
+	// witness the explain layer anchors its TPC-H counterfactuals on,
+	// since §3.3 episodes are too short for the checker to confirm.
+	streakHook func(start, at sim.Time)
 }
+
+// SetStreakHook installs (or clears, with nil) a callback fired when a
+// busy-while-idle run reaches K. The hook runs inside WakeupPlaced —
+// mid-wakeup — so implementations must not mutate scheduler state
+// synchronously; defer real work to the engine (e.g. After(0, ...)).
+// Clone drops the hook: a forked world's streaks are its own.
+func (c *Collector) SetStreakHook(fn func(start, at sim.Time)) { c.streakHook = fn }
 
 // NewCollector returns a Collector with the given tuning. The sample
 // buffers are pre-sized: every context switch appends a wait span, so
@@ -250,6 +263,9 @@ func (c *Collector) WakeupPlaced(at sim.Time, t *sched.Thread, cpu topology.Core
 	case c.run == c.cfg.StreakK:
 		c.st.Streaks++
 		c.st.Wakeups += int64(c.cfg.StreakK)
+		if c.streakHook != nil {
+			c.streakHook(c.runStart, at)
+		}
 	default:
 		c.st.Wakeups++
 	}

@@ -37,7 +37,9 @@ type pfEvent struct {
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	Cat  string         `json:"cat,omitempty"`
-	S    string         `json:"s,omitempty"` // instant scope
+	S    string         `json:"s,omitempty"`  // instant scope
+	ID   string         `json:"id,omitempty"` // flow id (ph "s"/"f"); start and end share it
+	Bp   string         `json:"bp,omitempty"` // flow binding point ("e": enclosing slice)
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -48,6 +50,23 @@ type pfFile struct {
 
 func usec(ns int64) float64 { return float64(ns) / 1e3 }
 
+// EpisodeMark anchors one episode on the timeline: an onset instant on
+// the idle witness core's track, a detection instant where the checker
+// (or streak witness) noticed, and a flow arrow joining the two — the
+// onset-to-detection gap is the blind spot a periodic checker cannot
+// avoid.
+type EpisodeMark struct {
+	// OnsetNs / DetectedNs are the episode's onset and detection instants.
+	OnsetNs    int64
+	DetectedNs int64
+	// Kind is "checker" or "streak".
+	Kind string
+	// IdleCPU / BusyCPU witness a checker episode; -1 (streaks) anchors
+	// the marks on the process track instead of a core track.
+	IdleCPU int
+	BusyCPU int
+}
+
 // PerfettoOpts tunes WritePerfetto.
 type PerfettoOpts struct {
 	// Cores fixes the number of CPU tracks; 0 infers it from the events.
@@ -56,6 +75,14 @@ type PerfettoOpts struct {
 	// (0 = unlimited). Long runs at fine cadence can carry millions of
 	// samples; the cap keeps export files loadable by thinning evenly.
 	MaxSeriesPoints int
+	// Prov renders decision-provenance records (time-ordered, e.g.
+	// ProvRing.Records) as annotations joined to the per-CPU tracks:
+	// balance verdicts and steal rejections as instants carrying the
+	// group metrics that decided them, wakeup placements and migrations
+	// as flow arrows from the deciding/source core to the chosen core.
+	Prov []ProvRecord
+	// Episodes renders episode onset/detection marks (see EpisodeMark).
+	Episodes []EpisodeMark
 }
 
 // WritePerfetto renders events (a trace.Recorder stream, time-ordered)
@@ -74,6 +101,14 @@ func WritePerfetto(w io.Writer, events []trace.Event, series []*Series, opt Perf
 	for _, ev := range events {
 		if int(ev.CPU) >= cores {
 			cores = int(ev.CPU) + 1
+		}
+	}
+	for i := range opt.Prov {
+		if c := int(opt.Prov[i].CPU); c >= cores {
+			cores = c + 1
+		}
+		if c := int(opt.Prov[i].Dst); c >= cores {
+			cores = c + 1
 		}
 	}
 	var out []pfEvent
@@ -150,6 +185,9 @@ func WritePerfetto(w io.Writer, events []trace.Event, series []*Series, opt Perf
 		}
 	}
 
+	out = append(out, provEvents(opt.Prov)...)
+	out = append(out, episodeEvents(opt.Episodes)...)
+
 	// Registry series become counter tracks under the metrics process.
 	var buf []Sample
 	for _, s := range series {
@@ -195,4 +233,106 @@ func WritePerfetto(w io.Writer, events []trace.Event, series []*Series, opt Perf
 		return err
 	}
 	return bw.Flush()
+}
+
+// flow emits a start/end flow-arrow pair between two core tracks at the
+// given instants. The end binds to the enclosing slice (bp "e"), so in
+// the UI the arrow lands on the destination core's busy span.
+func flow(id int, name, cat string, fromTs, toTs float64, fromCPU, toCPU int) [2]pfEvent {
+	sid := fmt.Sprintf("%d", id)
+	return [2]pfEvent{
+		{Name: name, Ph: "s", Cat: cat, ID: sid, Ts: fromTs, Pid: pidCores, Tid: fromCPU + 1},
+		{Name: name, Ph: "f", Bp: "e", Cat: cat, ID: sid, Ts: toTs, Pid: pidCores, Tid: toCPU + 1},
+	}
+}
+
+func maskHex(m trace.Mask) string { return fmt.Sprintf("%#x:%#x", m[1], m[0]) }
+
+// provEvents renders decision-provenance records onto the per-CPU
+// tracks. Flow ids are allocated sequentially from 1 in record order —
+// provenance records are time-ordered, so ids are deterministic.
+func provEvents(prov []ProvRecord) []pfEvent {
+	var out []pfEvent
+	flowID := 0
+	for i := range prov {
+		pr := &prov[i]
+		ts := usec(int64(pr.At))
+		switch pr.Kind {
+		case ProvBalance:
+			out = append(out, pfEvent{
+				Name: "prov balance " + trace.Verdict(pr.Code).String(),
+				Ph:   "i", S: "t", Cat: "provenance", Ts: ts, Pid: pidCores, Tid: int(pr.CPU) + 1,
+				Args: map[string]any{"op": pr.Op.String(), "moved": pr.Dst,
+					"local_metric": pr.Arg, "busiest_metric": pr.Aux, "busiest_mask": maskHex(pr.Mask)}})
+		case ProvStealReject:
+			out = append(out, pfEvent{
+				Name: "prov steal-reject " + trace.Verdict(pr.Code).String(),
+				Ph:   "i", S: "t", Cat: "provenance", Ts: ts, Pid: pidCores, Tid: int(pr.CPU) + 1,
+				Args: map[string]any{"op": pr.Op.String(), "from_cpu": pr.Dst,
+					"busiest_metric": pr.Arg, "busiest_mask": maskHex(pr.Mask)}})
+		case ProvWakeup:
+			path := "original"
+			switch pr.Code {
+			case ProvWakeFixed:
+				path = "fixed"
+			case ProvWakePolicy:
+				path = "policy"
+			}
+			out = append(out, pfEvent{
+				Name: fmt.Sprintf("prov wakeup t%d (%s)", pr.Arg, path),
+				Ph:   "i", S: "t", Cat: "provenance", Ts: ts, Pid: pidCores, Tid: int(pr.Dst) + 1,
+				Args: map[string]any{"prev_cpu": pr.CPU, "chosen_cpu": pr.Dst, "path": path,
+					"considered_mask": maskHex(pr.Mask), "busy_while_idle": pr.Aux != 0}})
+			if pr.CPU != pr.Dst {
+				flowID++
+				fl := flow(flowID, fmt.Sprintf("wakeup t%d", pr.Arg), "wakeup-flow",
+					ts, ts, int(pr.CPU), int(pr.Dst))
+				out = append(out, fl[0], fl[1])
+			}
+		case ProvMigration:
+			out = append(out, pfEvent{
+				Name: fmt.Sprintf("prov migrate t%d (%s)", pr.Arg, trace.Op(pr.Code).String()),
+				Ph:   "i", S: "t", Cat: "provenance", Ts: ts, Pid: pidCores, Tid: int(pr.CPU) + 1,
+				Args: map[string]any{"from_cpu": pr.CPU, "to_cpu": pr.Dst,
+					"cause": trace.Op(pr.Code).String()}})
+			if pr.CPU != pr.Dst {
+				flowID++
+				fl := flow(flowID, fmt.Sprintf("migrate t%d", pr.Arg), "migration-flow",
+					ts, ts, int(pr.CPU), int(pr.Dst))
+				out = append(out, fl[0], fl[1])
+			}
+		}
+	}
+	return out
+}
+
+// episodeEvents renders episode marks: onset and detection instants plus
+// a flow arrow spanning the detection lag. Checker episodes anchor on
+// the idle witness core's track; streak episodes (no single witness
+// core) anchor process-scoped on the cores process.
+func episodeEvents(eps []EpisodeMark) []pfEvent {
+	var out []pfEvent
+	for i, em := range eps {
+		tid, scope := 0, "p"
+		if em.IdleCPU >= 0 {
+			tid, scope = em.IdleCPU+1, "t"
+		}
+		args := map[string]any{"kind": em.Kind}
+		if em.IdleCPU >= 0 {
+			args["idle_cpu"] = em.IdleCPU
+			args["busy_cpu"] = em.BusyCPU
+		}
+		out = append(out, pfEvent{Name: "episode onset (" + em.Kind + ")",
+			Ph: "i", S: scope, Cat: "episode", Ts: usec(em.OnsetNs),
+			Pid: pidCores, Tid: tid, Args: args})
+		out = append(out, pfEvent{Name: "episode detected (" + em.Kind + ")",
+			Ph: "i", S: scope, Cat: "episode", Ts: usec(em.DetectedNs),
+			Pid: pidCores, Tid: tid, Args: args})
+		if em.DetectedNs > em.OnsetNs && em.IdleCPU >= 0 {
+			fl := flow(-(i + 1), "episode "+em.Kind, "episode-flow",
+				usec(em.OnsetNs), usec(em.DetectedNs), em.IdleCPU, em.IdleCPU)
+			out = append(out, fl[0], fl[1])
+		}
+	}
+	return out
 }

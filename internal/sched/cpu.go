@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -481,6 +482,12 @@ func (s *Scheduler) traceConsidered(cpu topology.CoreID, op trace.Op, mask CPUSe
 
 // traceMigration records a thread migration.
 func (s *Scheduler) traceMigration(t *Thread, from, to topology.CoreID, op trace.Op) {
+	if s.prov != nil {
+		s.prov.Record(obs.ProvRecord{
+			At: s.eng.Now(), Kind: obs.ProvMigration, Op: op, Code: uint8(op),
+			CPU: int32(from), Dst: int32(to), Arg: int64(t.id),
+		})
+	}
 	if s.rec == nil || !s.rec.Active() {
 		return
 	}

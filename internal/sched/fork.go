@@ -24,7 +24,9 @@ func (s *Scheduler) GroupByID(id int) *TaskGroup { return s.groups[id] }
 // their original (time, sequence) positions, so the clone's event queue
 // pops in source order. Domain hierarchies are shared (immutable after
 // construction). Hooks are reset to no-ops — the caller wires the cloned
-// machine in — and the latency probe and divergence probe start unset.
+// machine in — and the latency probe, divergence probe and provenance
+// ring start unset (a counterfactual replay attaches fresh ones, so the
+// two worlds' evidence streams stay independent).
 //
 // Attached observers that record into external sinks (trace recorder,
 // metrics, placement policy) cannot be cloned meaningfully; Clone panics
@@ -136,15 +138,39 @@ func (s *Scheduler) Clone(eng *sim.Engine) *Scheduler {
 // otherwise be returned as a hit. The rebuild counter is restored so the
 // clone's counters match a scheduler constructed with f from the start —
 // the property the bisect fork path's byte-identity rests on.
+//
+// Rebuilding resets every core's periodic-balance schedule, which is
+// right when the hierarchy changed (the old levels no longer exist) but
+// would be a pure perturbation for fixes that leave construction alone
+// (group imbalance, overload-on-wakeup): a counterfactual replay's
+// divergence from its control must come from the fix's decisions, not
+// from a rescheduled balance pass. Cores whose hierarchy the rebuild
+// reproduced identically therefore keep their pre-rebuild schedules —
+// also what makes a mid-run fork + ApplyFeatures byte-identical to a
+// fresh run with the fix, when the fix had not fired by the fork instant.
 func (s *Scheduler) ApplyFeatures(f Features) {
 	if f == s.cfg.Features {
 		return
+	}
+	oldDomains := make([][]*Domain, len(s.cpus))
+	oldNext := make([][]sim.Time, len(s.cpus))
+	oldFailed := make([][]int, len(s.cpus))
+	for i, c := range s.cpus {
+		oldDomains[i] = c.domains
+		oldNext[i] = append([]sim.Time(nil), c.nextBalance...)
+		oldFailed[i] = append([]int(nil), c.balanceFailed...)
 	}
 	s.cfg.Features = f
 	pre := s.counters.DomainRebuilds
 	s.domainCache = nil
 	s.rebuildDomains()
 	s.counters.DomainRebuilds = pre
+	for i, c := range s.cpus {
+		if len(oldNext[i]) == len(c.nextBalance) && domainsEqual(oldDomains[i], c.domains) {
+			copy(c.nextBalance, oldNext[i])
+			copy(c.balanceFailed, oldFailed[i])
+		}
+	}
 }
 
 // DivergenceProbe watches a run on behalf of feature flags that are NOT

@@ -25,6 +25,7 @@ package sched
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -71,6 +72,7 @@ type Scheduler struct {
 	latProbe LatencyProbe
 	mx       *Metrics         // observability hooks (nil = disabled, see AttachObs)
 	probe    *DivergenceProbe // fix-divergence watcher (nil = disabled, see fork.go)
+	prov     *obs.ProvRing    // decision provenance (nil = disabled, see SetProvenance)
 
 	// Idle cores form an intrusive doubly-linked list through the CPU
 	// structs, ordered by idleSince ascending (head = longest idle, the
@@ -190,6 +192,21 @@ func (s *Scheduler) SetRecorder(r *trace.Recorder) { s.rec = r }
 
 // Recorder returns the attached trace recorder, or nil.
 func (s *Scheduler) Recorder() *trace.Recorder { return s.rec }
+
+// SetProvenance attaches a decision-provenance ring (may be nil). While
+// attached, every balance pass, steal rejection, wakeup placement and
+// migration records its cause; detached (the default), each hook site
+// is one nil check.
+func (s *Scheduler) SetProvenance(p *obs.ProvRing) { s.prov = p }
+
+// Provenance returns the attached provenance ring, or nil.
+func (s *Scheduler) Provenance() *obs.ProvRing { return s.prov }
+
+// IdleSince returns the virtual instant cpu last went idle. Only
+// meaningful while the core is idle (IsIdle); the checker uses it to
+// anchor an episode's onset at the moment the idle core stopped
+// working, not at the detection that followed.
+func (s *Scheduler) IdleSince(cpu topology.CoreID) sim.Time { return s.cpus[cpu].idleSince }
 
 // Start builds the scheduling domains and begins ticking. Idle cores start
 // tickless under NOHZ.
@@ -400,7 +417,7 @@ func (s *Scheduler) SetAffinity(t *Thread, set CPUSet) {
 	if t.queued && !set.Has(t.cpu) {
 		src := s.cpus[t.cpu]
 		dst := s.cpus[set.And(s.onlineSet()).First()]
-		s.migrateThread(t, src, dst, trace.OpNone)
+		s.migrateThread(t, src, dst, trace.OpAffinity)
 	} else if t.state == StateRunning && !set.Has(t.cpu) {
 		s.resched(s.cpus[t.cpu]) // will be pushed by the next balance
 	}
@@ -500,7 +517,7 @@ func (s *Scheduler) StealOne(dst, src topology.CoreID) bool {
 	if victim == nil {
 		return false
 	}
-	s.migrateThread(victim, s.cpus[src], s.cpus[dst], trace.OpNone)
+	s.migrateThread(victim, s.cpus[src], s.cpus[dst], trace.OpSteal)
 	return true
 }
 
@@ -606,7 +623,7 @@ func (s *Scheduler) DisableCPU(cpu topology.CoreID) error {
 		if dst < 0 {
 			dst = s.onlineSet().First() // affinity broken by hotplug
 		}
-		s.migrateThread(t, c, s.cpus[dst], trace.OpNone)
+		s.migrateThread(t, c, s.cpus[dst], trace.OpHotplug)
 		s.counters.HotplugMigrations++
 	}
 	s.occSync(c)

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"repro/internal/obs"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -58,6 +59,7 @@ func (s *Scheduler) selectTaskRQ(t *Thread, waker *Thread) topology.CoreID {
 	if s.policy != nil {
 		if cpu, ok := s.policy.PlaceWakeup(t, waker, prev, allowed); ok && allowed.Has(cpu) {
 			s.traceConsidered(cpu, trace.OpWakeup, allowed)
+			s.provWakeup(t, prev, cpu, allowed, obs.ProvWakePolicy)
 			return cpu
 		}
 	}
@@ -79,18 +81,42 @@ func (s *Scheduler) selectTaskRQ(t *Thread, waker *Thread) topology.CoreID {
 	if s.cfg.Features.FixOverloadWakeup && s.cfg.Power == PowerPerformance {
 		if cpu, ok := s.fixedWakeupTarget(prev, allowed); ok {
 			s.traceConsidered(cpu, trace.OpWakeup, s.onlineSet().And(allowed))
+			s.provWakeup(t, prev, cpu, s.onlineSet().And(allowed), obs.ProvWakeFixed)
 			return cpu
 		}
 		// No idle core anywhere: fall back to the original algorithm.
 	}
-	cpu := s.originalWakeupTarget(t, waker, prev, allowed)
+	cpu, considered := s.originalWakeupTarget(t, waker, prev, allowed)
 	if p := s.probe; p != nil && p.Armed.FixOverloadWakeup && !p.Fired.FixOverloadWakeup &&
 		!s.cfg.Features.FixOverloadWakeup && s.cfg.Power == PowerPerformance {
 		if fcpu, ok := s.fixedWakeupTarget(prev, allowed); ok && fcpu != cpu {
 			p.Fired.FixOverloadWakeup = true
 		}
 	}
+	s.provWakeup(t, prev, cpu, considered, obs.ProvWakeOriginal)
 	return cpu
+}
+
+// provWakeup records one wakeup placement decision: the previous core
+// the decision ran against, the chosen core, the set of cores actually
+// considered (the §3.3 evidence — a node-scoped mask is the bug's
+// signature), and whether the choice put the thread on a busy core
+// while an allowed core sat idle.
+func (s *Scheduler) provWakeup(t *Thread, prev, chosen topology.CoreID, considered CPUSet, path uint8) {
+	if s.prov == nil {
+		return
+	}
+	var aux int64
+	if !s.cpus[chosen].idle() {
+		if _, ok := s.LongestIdle(t.affinity.And(s.onlineSet())); ok {
+			aux = 1
+		}
+	}
+	s.prov.Record(obs.ProvRecord{
+		At: s.eng.Now(), Kind: obs.ProvWakeup, Op: trace.OpWakeup, Code: path,
+		CPU: int32(prev), Dst: int32(chosen), Arg: int64(t.id), Aux: aux,
+		Mask: considered.TraceMask(),
+	})
 }
 
 // fixedWakeupTarget implements the paper's fix: previous core if idle,
@@ -124,7 +150,7 @@ func (s *Scheduler) LongestIdle(allowed CPUSet) (topology.CoreID, bool) {
 // an idle core only within the target's node (the LLC domain). When the
 // whole node is busy the thread is enqueued on the target core even though
 // other nodes may have idle cores — the Overload-on-Wakeup bug.
-func (s *Scheduler) originalWakeupTarget(t *Thread, waker *Thread, prev topology.CoreID, allowed CPUSet) topology.CoreID {
+func (s *Scheduler) originalWakeupTarget(t *Thread, waker *Thread, prev topology.CoreID, allowed CPUSet) (topology.CoreID, CPUSet) {
 	target := prev
 	if waker != nil && waker.cpu >= 0 && s.cpus[waker.cpu].online && allowed.Has(waker.cpu) {
 		wcpu := waker.cpu
@@ -153,19 +179,19 @@ func (s *Scheduler) originalWakeupTarget(t *Thread, waker *Thread, prev topology
 	})
 	s.traceConsidered(target, trace.OpWakeup, cands)
 	if cands.Empty() {
-		return allowed.First()
+		return allowed.First(), cands
 	}
 
 	// select_idle_sibling order: target, prev, target's SMT sibling,
 	// then any idle core of the node.
 	if cands.Has(target) && s.cpus[target].idle() {
-		return target
+		return target, cands
 	}
 	if cands.Has(prev) && s.cpus[prev].idle() {
-		return prev
+		return prev, cands
 	}
 	if sib, ok := s.topo.SMTSibling(target); ok && cands.Has(sib) && s.cpus[sib].idle() {
-		return sib
+		return sib, cands
 	}
 	found := topology.CoreID(-1)
 	cands.ForEach(func(id topology.CoreID) {
@@ -174,12 +200,12 @@ func (s *Scheduler) originalWakeupTarget(t *Thread, waker *Thread, prev topology
 		}
 	})
 	if found >= 0 {
-		return found
+		return found, cands
 	}
 	// Node fully busy: wake on the target core anyway — the bug. Idle
 	// cores on other nodes are never considered.
 	if cands.Has(target) {
-		return target
+		return target, cands
 	}
-	return cands.First()
+	return cands.First(), cands
 }

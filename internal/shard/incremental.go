@@ -106,6 +106,8 @@ func staleCampaign(prior *campaign.Campaign, opts campaign.RunnerOpts) string {
 		return fmt.Sprintf("trace=%v, this run %v", prior.Trace, opts.Trace)
 	case prior.Metrics != opts.Metrics:
 		return fmt.Sprintf("metrics=%v, this run %v", prior.Metrics, opts.Metrics)
+	case prior.Explain != opts.Explain:
+		return fmt.Sprintf("explain=%v, this run %v", prior.Explain, opts.Explain)
 	case opts.Metrics && prior.MetricsCadenceNs != int64(opts.EffectiveMetricsCadence()):
 		return fmt.Sprintf("metrics cadence %dns, this run %dns",
 			prior.MetricsCadenceNs, int64(opts.EffectiveMetricsCadence()))

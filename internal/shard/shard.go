@@ -116,6 +116,7 @@ func Merge(parts ...*campaign.Campaign) (*campaign.Campaign, error) {
 		StreakK:          first.StreakK,
 		Metrics:          first.Metrics,
 		MetricsCadenceNs: first.MetricsCadenceNs,
+		Explain:          first.Explain,
 	}
 	scaleSet := false
 	for i, p := range parts {
@@ -141,6 +142,9 @@ func Merge(parts ...*campaign.Campaign) (*campaign.Campaign, error) {
 		case p.Metrics != merged.Metrics || p.MetricsCadenceNs != merged.MetricsCadenceNs:
 			return nil, fmt.Errorf("shard: part %d has metrics=%v cadence=%dns, others metrics=%v cadence=%dns — not shards of one run",
 				i, p.Metrics, p.MetricsCadenceNs, merged.Metrics, merged.MetricsCadenceNs)
+		case p.Explain != merged.Explain:
+			return nil, fmt.Errorf("shard: part %d has explain=%v, others %v — not shards of one run",
+				i, p.Explain, merged.Explain)
 		}
 		// Policy stamps must agree wherever they overlap: the same policy
 		// name at two versions means the parts were built against

@@ -127,6 +127,13 @@ const (
 	OpWakeup
 	// OpFork is new-thread placement.
 	OpFork
+	// OpAffinity is a migration forced by an affinity-mask change.
+	OpAffinity
+	// OpSteal is a single-thread steal outside the balance pass
+	// (Scheduler.StealOne, the global-queue disciplines' primitive).
+	OpSteal
+	// OpHotplug is a migration draining a CPU going offline.
+	OpHotplug
 )
 
 // String names the operation.
@@ -144,6 +151,12 @@ func (o Op) String() string {
 		return "wakeup"
 	case OpFork:
 		return "fork"
+	case OpAffinity:
+		return "affinity"
+	case OpSteal:
+		return "steal"
+	case OpHotplug:
+		return "hotplug"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
