@@ -18,8 +18,8 @@ SHELL := /bin/bash
 
 .PHONY: all build vet lint test race bench bench-out.txt bench-json \
 	bench-baseline-refresh profile campaign bisect tourney bisect-smoke \
-	campaign-smoke tourney-smoke explain-smoke trace-smoke bisect-nightly \
-	campaign-nightly baseline-refresh ci nightly
+	campaign-smoke tourney-smoke explain-smoke trace-smoke dist-smoke \
+	bisect-nightly campaign-nightly baseline-refresh ci nightly
 
 all: ci
 
@@ -132,6 +132,15 @@ explain-smoke:
 	$(GO) run ./cmd/explain -in explain-bisect.json -q -out explain-smoke.json \
 		-baseline baselines/explain-smoke.json -diff-out explain-smoke-diff.txt
 
+# The CI distributed-campaign gate: coordinator + two local workers
+# under the race detector, with injected faults (worker killed
+# mid-shard, straggler shard stolen, corrupted check-in). Each case's
+# merged artifact must be byte-identical (cmp) to the single-process
+# smoke artifact and clean against baselines/campaign-smoke.json; the
+# script also asserts the -shard usage contract (bad specs exit 2).
+dist-smoke:
+	./scripts/dist-smoke.sh
+
 # Export a Perfetto/Chrome trace of the smoke matrix's lead scenario
 # (a side run — artifact bytes are unaffected). Open trace-smoke.json
 # at https://ui.perfetto.dev; CI uploads it as a workflow artifact.
@@ -172,4 +181,4 @@ baseline-refresh:
 	$(GO) run ./cmd/bisect -preset default -q -out baselines/bisect-default.json
 	$(GO) run ./cmd/campaign -matrix default -scale 0.25 -q -out baselines/campaign-default.json
 
-ci: lint build race bisect-smoke campaign-smoke tourney-smoke explain-smoke
+ci: lint build race bisect-smoke campaign-smoke tourney-smoke explain-smoke dist-smoke

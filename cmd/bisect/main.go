@@ -340,7 +340,9 @@ func runShard(o bisect.Options, opts campaign.RunnerOpts, spec, out string, quie
 	}
 	scenarios, err := sp.Select(o.Matrix().Scenarios())
 	if err != nil {
-		fatalf("%v", err)
+		// A spec that parses but cannot partition this matrix (index out
+		// of range for it, duplicate keys) is still a bad invocation.
+		usagef("%v", err)
 	}
 	fmt.Fprintf(os.Stderr, "bisect: shard %s holds %d of %d scenarios (campaign artifact only; -merge analyzes)\n",
 		sp, len(scenarios), o.Matrix().Size())

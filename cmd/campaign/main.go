@@ -74,12 +74,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/campaign"
 	"repro/internal/obs"
@@ -177,7 +180,10 @@ func main() {
 			}
 			scenarios, err = sp.Select(scenarios)
 			if err != nil {
-				fatalf("%v", err)
+				// A spec that parses but cannot partition this matrix
+				// (index out of range for it, duplicate keys) is still a
+				// bad invocation, not a runtime failure.
+				usagef("%v", err)
 			}
 			fmt.Fprintf(os.Stderr, "campaign: shard %s holds %d of %d scenarios\n",
 				sp, len(scenarios), m.Size())
@@ -225,6 +231,18 @@ func main() {
 			}
 		}
 
+		// Ctrl-C / SIGTERM cancels the run: the worker pool stops feeding
+		// scenarios, drains the in-flight ones, and campaign exits 1
+		// without writing a partial artifact.
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stopSignals()
+		runFatalf := func(err error) {
+			if ctx.Err() != nil {
+				fatalf("interrupted: in-flight scenarios drained, no artifact written")
+			}
+			fatalf("%v", err)
+		}
+
 		if *incremental != "" {
 			prior, err := campaign.Load(*incremental)
 			if err != nil {
@@ -233,18 +251,18 @@ func main() {
 			diff := shard.Plan(scenarios, prior, opts)
 			fmt.Fprintf(os.Stderr, "campaign: incremental vs %s: %s\n", *incremental, diff.Summary())
 			startTelemetry(len(diff.ToRun))
-			spliced, err := diff.Execute(opts)
+			spliced, err := diff.ExecuteCtx(ctx, opts)
 			if err != nil {
-				fatalf("%v", err)
+				runFatalf(err)
 			}
 			c = spliced
 		} else {
 			fmt.Fprintf(os.Stderr, "campaign: running %d scenarios on %d workers (base seed %d, scale %g)\n",
 				len(scenarios), effectiveWorkers(*workers), *baseSeed, m.Scale)
 			startTelemetry(len(scenarios))
-			run, err := campaign.RunScenarios(scenarios, opts)
+			run, err := campaign.RunScenariosCtx(ctx, scenarios, opts)
 			if err != nil {
-				fatalf("%v", err)
+				runFatalf(err)
 			}
 			c = run
 		}

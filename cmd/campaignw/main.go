@@ -1,0 +1,137 @@
+// Command campaignw is a campaign worker: it serves shard-execution
+// requests from a campaignd coordinator over HTTP and checks the
+// resulting artifact back in. Workers are stateless — every job carries
+// the full resolved runner options, and scenario references resolve
+// against this binary's own registries, so any campaignw built from the
+// same tree as its coordinator produces byte-identical results.
+//
+// Usage:
+//
+//	campaignw [flags]
+//
+// Examples:
+//
+//	campaignw -listen 127.0.0.1:9301
+//	campaignw -listen 127.0.0.1:0 -port-file /tmp/w1.port
+//	campaignw -fault "kill:nth=2" -listen 127.0.0.1:0 -port-file /tmp/w2.port
+//
+// Flags:
+//
+//	-listen addr     address to serve on (default 127.0.0.1:0)
+//	-port-file file  write the bound port here once listening (for
+//	                 scripts that start workers on :0)
+//	-id name         worker id in logs and check-ins (default host-pid)
+//	-workers n       local scenario pool size (default GOMAXPROCS)
+//	-fault plan      deterministic fault injection: semicolon-separated
+//	                 "kind:nth=N[,ms=M]" rules, kinds kill, drop, delay,
+//	                 corrupt; e.g. "drop:nth=1;delay:nth=3,ms=5000"
+//	-q               suppress progress logs
+//
+// SIGINT/SIGTERM drain gracefully: the worker answers 503 on
+// /v1/healthz and /v1/run, finishes in-flight shards, then exits 0. A
+// "kill" fault exits 137 mid-shard, the way an OOM-killed or preempted
+// worker would.
+//
+// Exit codes: 0 on clean shutdown, 1 on runtime errors, 2 on usage
+// errors, 137 when a kill fault fires.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/dist"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:0", "address to serve on")
+		portFile  = flag.String("port-file", "", "write the bound port to this file once listening")
+		id        = flag.String("id", "", "worker id in logs and check-ins (default host-pid)")
+		workers   = flag.Int("workers", 0, "local scenario pool size (0 = GOMAXPROCS)")
+		faultSpec = flag.String("fault", "", "fault plan: \"kind:nth=N[,ms=M];...\" (kinds: kill, drop, delay, corrupt)")
+		quiet     = flag.Bool("q", false, "suppress progress logs")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		usagef("unexpected arguments %q", flag.Args())
+	}
+	plan, err := dist.ParseFaultPlan(*faultSpec)
+	if err != nil {
+		usagef("%v", err)
+	}
+	if *id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "campaignw: "+format+"\n", args...)
+		}
+	}
+
+	w := dist.NewWorker(dist.WorkerOpts{
+		ID:      *id,
+		Workers: *workers,
+		Fault:   plan,
+		Kill: func() {
+			// A kill fault models sudden worker death: no drain, no
+			// response, exit the way a SIGKILLed process reports.
+			fmt.Fprintf(os.Stderr, "campaignw: %s: kill fault fired, dying mid-shard\n", *id)
+			os.Exit(137)
+		},
+		Logf: logf,
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *portFile != "" {
+		port := ln.Addr().(*net.TCPAddr).Port
+		if err := os.WriteFile(*portFile, []byte(fmt.Sprintf("%d\n", port)), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	srv := &http.Server{Handler: w.Handler()}
+
+	done := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		logf("%s: draining (finishing in-flight shards, refusing new ones)", *id)
+		w.Drain()
+		srv.Shutdown(context.Background())
+		close(done)
+	}()
+
+	logf("%s: listening on %s (faults: %s)", *id, ln.Addr(), plan)
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fatalf("%v", err)
+	}
+	<-done
+	logf("%s: drained, exiting", *id)
+}
+
+func fatalf(format string, args ...any) {
+	msg := strings.TrimPrefix(fmt.Sprintf(format, args...), "dist: ")
+	fmt.Fprintf(os.Stderr, "campaignw: %s\n", msg)
+	os.Exit(1)
+}
+
+func usagef(format string, args ...any) {
+	msg := strings.TrimPrefix(fmt.Sprintf(format, args...), "dist: ")
+	fmt.Fprintf(os.Stderr, "campaignw: %s\n", msg)
+	os.Exit(2)
+}

@@ -288,12 +288,23 @@ func Load(path string) (*Campaign, error) {
 	if err != nil {
 		return nil, err
 	}
+	c, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Decode parses a campaign artifact from its JSON bytes — the same
+// validation Load applies, for artifacts that arrive over a wire rather
+// than from a file (the dist package's worker check-ins).
+func Decode(data []byte) (*Campaign, error) {
 	var c Campaign
 	if err := json.Unmarshal(data, &c); err != nil {
-		return nil, fmt.Errorf("campaign: parsing %s: %w", path, err)
+		return nil, fmt.Errorf("parsing artifact: %w", err)
 	}
 	if c.Version != Version {
-		return nil, fmt.Errorf("campaign: %s has artifact version %d, want %d", path, c.Version, Version)
+		return nil, fmt.Errorf("artifact version %d, want %d", c.Version, Version)
 	}
 	return &c, nil
 }

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -127,13 +128,26 @@ func Run(m Matrix, opts RunnerOpts) (*Campaign, error) {
 // artifact is byte-identical for any worker count and any scenario
 // order.
 func RunScenarios(scenarios []Scenario, opts RunnerOpts) (*Campaign, error) {
-	results := ForEach(len(scenarios), opts.Workers, func(i int) Result {
+	return RunScenariosCtx(context.Background(), scenarios, opts)
+}
+
+// RunScenariosCtx is RunScenarios under a context: when ctx is
+// cancelled the pool stops starting scenarios, in-flight ones drain to
+// completion (a scenario's engine cannot be interrupted mid-run, but no
+// goroutine is abandoned), and ctx.Err() is returned instead of a
+// partial artifact — an incomplete campaign would violate the
+// one-result-per-scenario invariant every consumer relies on.
+func RunScenariosCtx(ctx context.Context, scenarios []Scenario, opts RunnerOpts) (*Campaign, error) {
+	results, err := ForEachCtx(ctx, len(scenarios), opts.Workers, func(i int) Result {
 		r := runScenario(scenarios[i], opts)
 		if opts.OnResult != nil {
 			opts.OnResult(r)
 		}
 		return r
 	})
+	if err != nil {
+		return nil, err
+	}
 	return AssembleArtifact(scenarios, results, opts)
 }
 
@@ -207,6 +221,19 @@ func AssembleArtifact(scenarios []Scenario, results []Result, opts RunnerOpts) (
 // used by the experiments package to parallelize table runs. Jobs must
 // not share mutable state; each builds its own machine.
 func ForEach[T any](n, workers int, job func(i int) T) []T {
+	out, _ := ForEachCtx(context.Background(), n, workers, job)
+	return out
+}
+
+// ForEachCtx is ForEach under a context. Cancellation stops the feed of
+// new jobs; jobs already started run to completion and every pool
+// goroutine is joined before returning — the caller never leaks
+// goroutines and never observes a job half-written. When ctx was
+// cancelled before all n jobs started, the returned slice is partial
+// (unstarted indices hold zero values) and err is ctx.Err(); callers
+// that need a complete result set must treat a non-nil error as "no
+// results".
+func ForEachCtx[T any](ctx context.Context, n, workers int, job func(i int) T) ([]T, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -215,13 +242,16 @@ func ForEach[T any](n, workers int, job func(i int) T) []T {
 	}
 	out := make([]T, n)
 	if n == 0 {
-		return out
+		return out, ctx.Err()
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			out[i] = job(i)
 		}
-		return out
+		return out, ctx.Err()
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -234,12 +264,17 @@ func ForEach[T any](n, workers int, job func(i int) T) []T {
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	return out
+	return out, ctx.Err()
 }
 
 // runScenario executes one cell: build the machine, attach the sanity

@@ -1,0 +1,102 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/campaign"
+)
+
+// client is the coordinator's view of one worker endpoint.
+type client struct {
+	base string
+	http *http.Client
+}
+
+func newClient(base string, hc *http.Client) *client {
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &client{base: strings.TrimRight(base, "/"), http: hc}
+}
+
+func (c *client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.http.Do(req)
+}
+
+// info fetches the worker's identity and compatibility stamps.
+func (c *client) info(ctx context.Context) (WorkerInfo, error) {
+	resp, err := c.get(ctx, PathInfo)
+	if err != nil {
+		return WorkerInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return WorkerInfo{}, fmt.Errorf("dist: %s%s: %s", c.base, PathInfo, resp.Status)
+	}
+	var wi WorkerInfo
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&wi); err != nil {
+		return WorkerInfo{}, fmt.Errorf("dist: %s%s: %w", c.base, PathInfo, err)
+	}
+	return wi, nil
+}
+
+// health performs one heartbeat probe. Any non-200 (including a
+// draining worker's 503) counts as a miss.
+func (c *client) health(ctx context.Context) error {
+	resp, err := c.get(ctx, PathHealth)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: %s%s: %s", c.base, PathHealth, resp.Status)
+	}
+	return nil
+}
+
+// run dispatches one shard and decodes the checked-in artifact. The
+// decode validates the artifact schema version; everything else about
+// the payload is the verifier's job.
+func (c *client) run(ctx context.Context, job JobSpec) (*campaign.Campaign, error) {
+	body, err := json.Marshal(job)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+PathRun, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<28))
+	if err != nil {
+		return nil, fmt.Errorf("dist: %s%s: reading check-in: %w", c.base, PathRun, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := strings.TrimSpace(string(data))
+		if len(msg) > 200 {
+			msg = msg[:200] + "..."
+		}
+		return nil, fmt.Errorf("dist: %s%s: %s: %s", c.base, PathRun, resp.Status, msg)
+	}
+	part, err := campaign.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %s check-in: %w", c.base, err)
+	}
+	return part, nil
+}

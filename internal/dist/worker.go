@@ -1,0 +1,200 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/policy"
+)
+
+// WorkerOpts configures a campaign worker server.
+type WorkerOpts struct {
+	// ID names the worker in logs and check-ins (default "worker").
+	ID string
+	// Workers is the local campaign pool size; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Fault is the deterministic fault-injection plan; nil injects
+	// nothing.
+	Fault *FaultPlan
+	// Kill is invoked when a FaultKill rule fires, after the shard's
+	// first scenario completes — "mid-shard" by construction. The
+	// campaignw process passes os.Exit; the default (tests, where a
+	// real exit would take the test binary with it) marks the worker
+	// dead so every subsequent connection aborts like a killed peer's
+	// would.
+	Kill func()
+	// Logf logs progress; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Worker serves shards to a coordinator over HTTP. It is an
+// http.Handler factory plus drain/liveness state; the caller owns the
+// listener (http.Server in campaignw, httptest.Server in tests).
+type Worker struct {
+	opts     WorkerOpts
+	mux      *http.ServeMux
+	draining atomic.Bool
+	dead     atomic.Bool
+	inflight sync.WaitGroup
+}
+
+// NewWorker builds a worker server.
+func NewWorker(opts WorkerOpts) *Worker {
+	if opts.ID == "" {
+		opts.ID = "worker"
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	w := &Worker{opts: opts}
+	if w.opts.Kill == nil {
+		w.opts.Kill = func() { w.dead.Store(true) }
+	}
+	w.mux = http.NewServeMux()
+	w.mux.HandleFunc(PathInfo, w.handleInfo)
+	w.mux.HandleFunc(PathHealth, w.handleHealth)
+	w.mux.HandleFunc(PathRun, w.handleRun)
+	return w
+}
+
+// Handler returns the worker's HTTP surface. Every handler first checks
+// the dead flag so a "killed" worker goes silent on all endpoints at
+// once, the way a dead process does.
+func (w *Worker) Handler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		if w.dead.Load() {
+			panic(http.ErrAbortHandler)
+		}
+		w.mux.ServeHTTP(rw, req)
+	})
+}
+
+// Drain refuses new shards (healthz flips to 503, run to 503) and
+// blocks until in-flight shards finish — the graceful-shutdown half of
+// the liveness contract. The coordinator sees the 503s, stops
+// dispatching here, and retries in-flight work elsewhere only if this
+// worker's results never arrive.
+func (w *Worker) Drain() {
+	w.draining.Store(true)
+	w.inflight.Wait()
+}
+
+// Draining reports whether Drain has been called.
+func (w *Worker) Draining() bool { return w.draining.Load() }
+
+func (w *Worker) handleInfo(rw http.ResponseWriter, req *http.Request) {
+	writeJSON(rw, WorkerInfo{
+		ID:              w.opts.ID,
+		Protocol:        ProtocolVersion,
+		ArtifactVersion: campaign.Version,
+		ModelVersion:    campaign.ModelVersion,
+		Policies:        policy.Versions(),
+		Draining:        w.draining.Load(),
+	})
+}
+
+func (w *Worker) handleHealth(rw http.ResponseWriter, req *http.Request) {
+	if w.draining.Load() {
+		http.Error(rw, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(rw, "ok")
+}
+
+func (w *Worker) handleRun(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if w.draining.Load() {
+		http.Error(rw, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.inflight.Add(1)
+	defer w.inflight.Done()
+
+	var job JobSpec
+	if err := json.NewDecoder(req.Body).Decode(&job); err != nil {
+		http.Error(rw, fmt.Sprintf("bad job: %v", err), http.StatusBadRequest)
+		return
+	}
+	if job.Protocol != ProtocolVersion {
+		http.Error(rw, fmt.Sprintf("protocol %d, this worker speaks %d", job.Protocol, ProtocolVersion),
+			http.StatusBadRequest)
+		return
+	}
+	scenarios, err := job.ResolveScenarios()
+	if err != nil {
+		// An unresolvable name is a compatibility gap, not a transient:
+		// report it so the coordinator can blame the right side.
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	rule := w.opts.Fault.next()
+	opts := job.RunnerOpts()
+	opts.Workers = w.opts.Workers
+	if rule != nil && rule.Kind == FaultKill {
+		// Die mid-shard: after the first scenario completes, not before
+		// the shard starts and not after it ends — the window where a
+		// lost worker hurts most.
+		var once sync.Once
+		opts.OnResult = func(campaign.Result) { once.Do(w.opts.Kill) }
+	}
+
+	w.opts.Logf("worker %s: job %s: %d scenarios", w.opts.ID, job.ID, len(scenarios))
+	c, err := campaign.RunScenariosCtx(req.Context(), scenarios, opts)
+	if w.dead.Load() {
+		// A FaultKill fired while the pool drained (test mode, where
+		// Kill cannot exit the process): go silent like a dead peer.
+		panic(http.ErrAbortHandler)
+	}
+	if err != nil {
+		if req.Context().Err() != nil {
+			// The coordinator hung up (deadline or cancel) and the pool
+			// drained its in-flight scenarios; nobody is listening for
+			// the response.
+			w.opts.Logf("worker %s: job %s abandoned: %v", w.opts.ID, job.ID, err)
+			panic(http.ErrAbortHandler)
+		}
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	data, err := c.EncodeJSON()
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	if rule != nil {
+		switch rule.Kind {
+		case FaultDrop:
+			w.opts.Logf("worker %s: job %s: injected drop", w.opts.ID, job.ID)
+			panic(http.ErrAbortHandler)
+		case FaultDelay:
+			w.opts.Logf("worker %s: job %s: injected %s delay", w.opts.ID, job.ID, rule.Delay)
+			select {
+			case <-time.After(rule.Delay):
+			case <-req.Context().Done():
+				panic(http.ErrAbortHandler)
+			}
+		case FaultCorrupt:
+			w.opts.Logf("worker %s: job %s: injected corruption", w.opts.ID, job.ID)
+			data = append(data[:len(data)/2], []byte("\x00corrupted payload\x00")...)
+		}
+	}
+
+	rw.Header().Set("Content-Type", "application/json")
+	rw.Write(data)
+}
+
+func writeJSON(rw http.ResponseWriter, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(v)
+}

@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// MergeFiles ingests artifacts from disk — CI shards, scp'd files,
+// interrupted downloads. A truncated or mangled artifact must come back
+// as a clear error naming the file, never a panic and never a partial
+// merge.
+func TestMergeFilesCorruptInputs(t *testing.T) {
+	scenarios := testMatrix().Scenarios()
+	opts := testOpts()
+	sp1, _ := Spec{Index: 1, Count: 2}.Select(scenarios)
+	good := encode(t, mustRun(t, sp1, opts))
+
+	dir := t.TempDir()
+	goodPath := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(goodPath, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"truncated.json", good[:len(good)/2]},
+		{"empty.json", nil},
+		{"garbage.json", []byte("\x00\x01not json at all")},
+		{"wrong-shape.json", []byte(`["an", "array", "not", "an", "artifact"]`)},
+		{"mangled.json", append(append([]byte{}, good[:len(good)/3]...), good[len(good)/2:]...)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("MergeFiles panicked on %s: %v", tc.name, r)
+				}
+			}()
+			badPath := filepath.Join(dir, tc.name)
+			if err := os.WriteFile(badPath, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			c, err := MergeFiles(goodPath, badPath)
+			if err == nil {
+				t.Fatalf("MergeFiles accepted %s (%d results)", tc.name, len(c.Results))
+			}
+			if !strings.Contains(err.Error(), tc.name) {
+				t.Fatalf("error %q does not name the offending file %s", err, tc.name)
+			}
+		})
+	}
+
+	if _, err := MergeFiles(goodPath, filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("MergeFiles accepted a nonexistent file")
+	}
+}
+
+// A version-skewed artifact (schema from a different binary) must be
+// rejected at load with both the file and the versions named.
+func TestMergeFilesVersionSkew(t *testing.T) {
+	scenarios := testMatrix().Scenarios()
+	sp1, _ := Spec{Index: 1, Count: 2}.Select(scenarios)
+	good := encode(t, mustRun(t, sp1, testOpts()))
+
+	var raw map[string]any
+	if err := json.Unmarshal(good, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["version"]; !ok {
+		t.Fatal("fixture assumption broke: artifact JSON has no version field")
+	}
+	raw["version"] = 999990
+	skewed, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "skewed.json")
+	if err := os.WriteFile(path, skewed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = MergeFiles(path)
+	if err == nil {
+		t.Fatal("MergeFiles accepted a version-skewed artifact")
+	}
+	if !strings.Contains(err.Error(), "version") || !strings.Contains(err.Error(), "skewed.json") {
+		t.Fatalf("error %q should name the file and the version mismatch", err)
+	}
+}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -146,7 +147,13 @@ func staleResult(res *campaign.Result, sc campaign.Scenario, prior *campaign.Cam
 // the same fingerprint); prior keys no longer in the list are dropped.
 // opts must be the ones the plan was computed under.
 func (d *Diff) Execute(opts campaign.RunnerOpts) (*campaign.Campaign, error) {
-	fresh, err := campaign.RunScenarios(d.ToRun, opts)
+	return d.ExecuteCtx(context.Background(), opts)
+}
+
+// ExecuteCtx is Execute under a context: cancellation drains the
+// in-flight scenarios and returns ctx.Err() instead of an artifact.
+func (d *Diff) ExecuteCtx(ctx context.Context, opts campaign.RunnerOpts) (*campaign.Campaign, error) {
+	fresh, err := campaign.RunScenariosCtx(ctx, d.ToRun, opts)
 	if err != nil {
 		return nil, err
 	}

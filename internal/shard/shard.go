@@ -42,12 +42,12 @@ type Spec struct {
 func ParseSpec(s string) (Spec, error) {
 	idx, cnt, ok := strings.Cut(s, "/")
 	if !ok {
-		return Spec{}, fmt.Errorf("shard: spec %q is not of the form i/n", s)
+		return Spec{}, fmt.Errorf("shard: spec %q is not of the form i/n (two integers, e.g. \"2/3\")", s)
 	}
 	i, err1 := strconv.Atoi(strings.TrimSpace(idx))
 	n, err2 := strconv.Atoi(strings.TrimSpace(cnt))
 	if err1 != nil || err2 != nil {
-		return Spec{}, fmt.Errorf("shard: spec %q is not of the form i/n", s)
+		return Spec{}, fmt.Errorf("shard: spec %q is not of the form i/n (two integers, e.g. \"2/3\")", s)
 	}
 	sp := Spec{Index: i, Count: n}
 	return sp, sp.validate()
@@ -55,10 +55,11 @@ func ParseSpec(s string) (Spec, error) {
 
 func (s Spec) validate() error {
 	if s.Count < 1 {
-		return fmt.Errorf("shard: count %d < 1", s.Count)
+		return fmt.Errorf("shard: count %d must be >= 1 in spec \"i/n\"", s.Count)
 	}
 	if s.Index < 1 || s.Index > s.Count {
-		return fmt.Errorf("shard: index %d outside 1..%d", s.Index, s.Count)
+		return fmt.Errorf("shard: index %d outside 1..%d (shard specs are 1-based: \"1/%d\" is the first of %d)",
+			s.Index, s.Count, max(s.Count, 1), max(s.Count, 1))
 	}
 	return nil
 }
